@@ -1,0 +1,45 @@
+# FaaSMem reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in test_output.txt.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every figure/table at paper scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -seed 42 | tee experiments_full.txt
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+# Figures + machine-readable rows.
+results:
+	$(GO) run ./cmd/experiments -seed 42 -json results -svg results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mlinference
+	$(GO) run ./examples/webservice
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/rack
+	$(GO) run ./examples/sweep > /dev/null
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,372 @@
+package faasmem
+
+// bench_test.go holds one testing.B benchmark per table and figure of the
+// paper's evaluation, each regenerating its experiment at a reduced scale
+// (use cmd/experiments for the paper-scale runs), plus ablation benches for
+// the design choices DESIGN.md calls out: the Pucket segment policies, the
+// semi-warm period, the fault pipeline depth, and the barrier/rollback
+// primitives themselves.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/mglru"
+	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// ---------------------------------------------------------------- figures
+
+func BenchmarkFig1KeepAliveSweep(b *testing.B) {
+	tr := trace.Generate(trace.GenConfig{NumFunctions: 100, Duration: 4 * time.Hour}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1(experiments.Fig1Options{Trace: tr, Seed: 1})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig2DamonLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig2(experiments.Fig2Options{
+			Duration: 10 * time.Minute,
+			MeanGap:  30 * time.Second,
+			Benches:  []string{"json", "web"},
+			Seed:     int64(i),
+		})
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig4RuntimeFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Fig4(); len(rows) != 6 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig5RequestsPerContainer(b *testing.B) {
+	tr := trace.Generate(trace.GenConfig{NumFunctions: 100, Duration: 4 * time.Hour}, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(experiments.Fig5Options{Trace: tr})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig6BertScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(experiments.Fig6Options{Requests: 10, Seed: int64(i)})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig8RuntimeRecalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8(experiments.Fig8Options{Requests: 5, Seed: int64(i)})
+		if len(rows) != 11 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig9WebScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig9(25, int64(i))
+		if len(rows) != 25 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig12AzureHighLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(experiments.Fig12Options{
+			Duration: 8 * time.Minute,
+			Benches:  []string{"web", "json"},
+			Seed:     int64(i),
+		})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig12AzureLowLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(experiments.Fig12Options{
+			Duration: 8 * time.Minute,
+			Benches:  []string{"graph"},
+			Policies: []experiments.PolicyKind{experiments.Baseline, experiments.FaaSMem},
+			Seed:     int64(i),
+		})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable1DiverseTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(experiments.Table1Options{
+			Duration: 6 * time.Minute,
+			Traces:   2,
+			Seed:     int64(i),
+		})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig13Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig13(experiments.Fig13Options{
+			Duration: 8 * time.Minute,
+			Seed:     int64(i),
+		})
+		if len(rows) != 8 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig14SemiWarmApplicability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig14(experiments.Fig14Options{
+			NumFunctions: 50,
+			Duration:     2 * time.Hour,
+			Seed:         int64(i),
+		})
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig15BarrierInsert(b *testing.B) {
+	prof := workload.Bert()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		space := pagemem.NewSpace(pagemem.DefaultPageSize)
+		lru := mglru.New(space)
+		space.AllocBytes(pagemem.SegRuntime, prof.RuntimeBytes)
+		lru.InsertBarrier()
+		space.AllocBytes(pagemem.SegInit, prof.InitBytes)
+		lru.InsertBarrier()
+	}
+}
+
+func BenchmarkFig15Rollback(b *testing.B) {
+	prof := workload.Bert()
+	space := pagemem.NewSpace(pagemem.DefaultPageSize)
+	lru := mglru.New(space)
+	space.AllocBytes(pagemem.SegRuntime, prof.RuntimeBytes)
+	runtimeGen, runtimeRange := lru.InsertBarrier()
+	space.AllocBytes(pagemem.SegInit, prof.InitBytes)
+	initGen, initRange := lru.InsertBarrier()
+	_ = runtimeGen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Promote the hot set, then roll it back.
+		hot := initRange.Start + pagemem.PageID(prof.InitHotBytes/int64(space.PageSize()))
+		for id := initRange.Start; id < hot; id++ {
+			space.SetState(id, pagemem.Hot)
+			lru.Promote(id)
+		}
+		for id := initRange.Start; id < initRange.End; id++ {
+			if space.State(id) == pagemem.Hot {
+				space.SetState(id, pagemem.Inactive)
+				lru.Demote(id, initGen)
+			}
+		}
+	}
+	_ = runtimeRange
+}
+
+func BenchmarkFig15Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig15()
+		if len(rows) != 11 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkFig16Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig16(experiments.Fig16Options{
+			Traces:   3,
+			Duration: 6 * time.Minute,
+			Apps:     []string{"graph", "web"},
+			Seed:     int64(i),
+		})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblationFaultPipeline sweeps the swap path's fault pipeline depth
+// — the design choice that sets how painful a semi-warm or DAMON-drained
+// container's first request is.
+func BenchmarkAblationFaultPipeline(b *testing.B) {
+	prof := workload.Web()
+	inv := experiments.HighLoadInvocations(6*time.Minute, 3)
+	for i := 0; i < b.N; i++ {
+		out := experiments.RunScenario(experiments.Scenario{
+			Profile:     prof,
+			Invocations: inv,
+			Duration:    6 * time.Minute,
+			Policy:      experiments.DAMON,
+			Seed:        3,
+		})
+		if out.Requests == 0 {
+			b.Fatal("no requests")
+		}
+	}
+}
+
+// BenchmarkAblationPolicies runs the same workload under each policy so the
+// relative simulation cost (and offloading work) of the policies is visible.
+func BenchmarkAblationPolicies(b *testing.B) {
+	prof := workload.ByName("json")
+	inv := experiments.HighLoadInvocations(6*time.Minute, 4)
+	for _, pk := range []experiments.PolicyKind{
+		experiments.Baseline, experiments.TMO, experiments.DAMON, experiments.FaaSMem,
+	} {
+		b.Run(string(pk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := experiments.RunScenario(experiments.Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    6 * time.Minute,
+					Policy:      pk,
+					SeedHistory: true,
+					Seed:        4,
+				})
+				if out.Requests == 0 {
+					b.Fatal("no requests")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- substrate
+
+// BenchmarkTouchHotSet measures the page-touch hot path that dominates
+// request replay (one Bert-sized hot-set touch).
+func BenchmarkTouchHotSet(b *testing.B) {
+	prof := workload.Bert()
+	space := pagemem.NewSpace(pagemem.DefaultPageSize)
+	r := space.AllocBytes(pagemem.SegInit, prof.InitHotBytes)
+	b.SetBytes(prof.InitHotBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for id := r.Start; id < r.End; id++ {
+			space.Touch(id)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures synthesizing a full Azure-like day.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.Generate(trace.GenConfig{NumFunctions: 100, Duration: 6 * time.Hour}, int64(i))
+		if tr.TotalInvocations() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- extensions
+
+// BenchmarkExtPoolComparison regenerates the §9 pool-technology study.
+func BenchmarkExtPoolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PoolComparison(experiments.PoolComparisonOptions{
+			Duration: 6 * time.Minute, Seed: int64(i),
+		})
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkExtColdStartTiming regenerates the §8.3.2 timing-correction study.
+func BenchmarkExtColdStartTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ColdStartTiming(experiments.ColdStartTimingOptions{
+			Duration: 6 * time.Minute, Seed: int64(i),
+		})
+		if len(rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkExtRackDensity regenerates the measured-density rack study.
+func BenchmarkExtRackDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RackDensity(experiments.RackDensityOptions{
+			Nodes: 2, Functions: 6, Duration: 6 * time.Minute, Seed: int64(i),
+		})
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkAblationRequestWindow compares §5.2's adaptive request-window
+// against fixed windows on the Web workload: a window of 1 offloads cold
+// init pages eagerly (recalling the Pareto tail), a large fixed window
+// strands memory, and the adaptive detector lands between them.
+func BenchmarkAblationRequestWindow(b *testing.B) {
+	prof := workload.Web()
+	inv := experiments.HighLoadInvocations(6*time.Minute, 7)
+	for _, cfg := range []struct {
+		name  string
+		fixed int
+	}{
+		{"adaptive", 0},
+		{"fixed-1", 1},
+		{"fixed-20", 20},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := experiments.RunScenario(experiments.Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    6 * time.Minute,
+					Policy:      experiments.FaaSMem,
+					CoreConfig:  core.Config{FixedRequestWindow: cfg.fixed, DisableSemiWarm: true},
+					Seed:        7,
+				})
+				if out.Requests == 0 {
+					b.Fatal("no requests")
+				}
+				b.ReportMetric(out.AvgLocalMB, "avgMB")
+				b.ReportMetric(float64(out.FaultPages), "faults")
+			}
+		})
+	}
+}

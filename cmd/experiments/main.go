@@ -1,0 +1,278 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-only fig12,table1] [-quick] [-seed 42] [-json dir] [-svg dir] [-parallel N]
+//
+// With -quick, durations and trace sizes shrink so the full suite finishes
+// in seconds; without it, the defaults match the paper-scale windows
+// (1-hour traces, 424-function studies). Experiments run in parallel worker
+// goroutines (each simulation itself is single-threaded and deterministic);
+// output is buffered and printed in canonical order.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/experiments"
+)
+
+// job is one experiment: it returns its rows (for -json) and optional SVG
+// renderings, writing its human-readable report to w.
+type job struct {
+	name string
+	run  func(w io.Writer) (rows any, svgs map[string]string)
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
+	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
+	svgDir := flag.String("svg", "", "also write SVG charts of the main figures into this directory (like the artifact's draw scripts)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "number of experiments to run concurrently")
+	flag.Parse()
+
+	for _, dir := range []string{*jsonDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	scale := func(full, quickv time.Duration) time.Duration {
+		if *quick {
+			return quickv
+		}
+		return full
+	}
+
+	jobs := buildJobs(*seed, *quick, scale)
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	var selected []job
+	for _, j := range jobs {
+		if len(want) == 0 || want[j.name] {
+			selected = append(selected, j)
+		}
+	}
+
+	// Run jobs in a bounded worker pool; buffer output per job so the
+	// report prints in canonical order regardless of completion order.
+	type result struct {
+		out  bytes.Buffer
+		rows any
+		svgs map[string]string
+	}
+	results := make([]result, len(selected))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range selected {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i].rows, results[i].svgs = selected[i].run(&results[i].out)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, j := range selected {
+		os.Stdout.Write(results[i].out.Bytes())
+		fmt.Println()
+		if *jsonDir != "" && results[i].rows != nil {
+			writeJSON(filepath.Join(*jsonDir, j.name+".json"), results[i].rows)
+		}
+		if *svgDir != "" {
+			for name, svg := range results[i].svgs {
+				if err := os.WriteFile(filepath.Join(*svgDir, name+".svg"), []byte(svg), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// buildJobs lists every experiment in presentation order.
+func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) time.Duration) []job {
+	return []job{
+		{"fig1", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig1(experiments.Fig1Options{Seed: seed})
+			experiments.PrintFig1(w, rows)
+			return rows, map[string]string{"fig1": experiments.SVGFig1(rows)}
+		}},
+		{"fig2", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig2(experiments.Fig2Options{
+				Duration: scale(time.Hour, 15*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintFig2(w, rows)
+			return rows, map[string]string{"fig2": experiments.SVGFig2(rows)}
+		}},
+		{"fig4", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig4()
+			experiments.PrintFig4(w, rows)
+			return rows, nil
+		}},
+		{"fig5", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig5(experiments.Fig5Options{Seed: seed})
+			experiments.PrintFig5(w, rows)
+			return rows, map[string]string{"fig5": experiments.SVGFig5(rows)}
+		}},
+		{"fig6", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig6(experiments.Fig6Options{Seed: seed})
+			experiments.PrintFig6(w, rows)
+			return rows, nil
+		}},
+		{"fig8", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig8(experiments.Fig8Options{Seed: seed})
+			experiments.PrintFig8(w, rows)
+			return rows, nil
+		}},
+		{"fig9", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig9(25, seed)
+			experiments.PrintFig9(w, rows)
+			return rows, nil
+		}},
+		{"fig12", func(w io.Writer) (any, map[string]string) {
+			opt := experiments.Fig12Options{Duration: scale(time.Hour, 10*time.Minute), Seed: seed}
+			if quick {
+				opt.Benches = []string{"bert", "graph", "web", "json"}
+			}
+			rows := experiments.Fig12(opt)
+			experiments.PrintFig12(w, rows)
+			return rows, nil
+		}},
+		{"table1", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Table1(experiments.Table1Options{
+				Duration: scale(30*time.Minute, 8*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintTable1(w, rows)
+			return rows, nil
+		}},
+		{"fig13", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig13(experiments.Fig13Options{
+				Duration:     scale(time.Hour, 12*time.Minute),
+				Seed:         seed,
+				WithTimeline: true,
+			})
+			experiments.PrintFig13(w, rows)
+			return rows, map[string]string{"fig13": experiments.SVGFig13(rows)}
+		}},
+		{"fig14", func(w io.Writer) (any, map[string]string) {
+			opt := experiments.Fig14Options{Seed: seed}
+			if quick {
+				opt.NumFunctions = 80
+				opt.Duration = 2 * time.Hour
+			}
+			rows := experiments.Fig14(opt)
+			experiments.PrintFig14(w, rows)
+			return rows, map[string]string{"fig14": experiments.SVGFig14(rows)}
+		}},
+		{"fig15", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Fig15()
+			experiments.PrintFig15(w, rows)
+			return rows, nil
+		}},
+		{"fig16", func(w io.Writer) (any, map[string]string) {
+			opt := experiments.Fig16Options{Seed: seed}
+			if quick {
+				opt.Traces = 6
+				opt.Duration = 10 * time.Minute
+			}
+			rows := experiments.Fig16(opt)
+			experiments.PrintFig16(w, rows)
+			return rows, map[string]string{"fig16": experiments.SVGFig16(rows)}
+		}},
+		{"ext-pools", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.PoolComparison(experiments.PoolComparisonOptions{
+				Duration: scale(20*time.Minute, 8*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintPoolComparison(w, rows)
+			return rows, nil
+		}},
+		{"ext-coldstart", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.ColdStartTiming(experiments.ColdStartTimingOptions{
+				Duration: scale(20*time.Minute, 8*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintColdStartTiming(w, rows)
+			return rows, nil
+		}},
+		{"ext-readahead", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.Readahead(experiments.ReadaheadOptions{
+				Duration: scale(20*time.Minute, 8*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintReadahead(w, rows)
+			return rows, map[string]string{"ext-readahead": experiments.SVGReadahead(rows)}
+		}},
+		{"ext-keepalive", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.KeepAliveStrategies(experiments.KeepAliveStrategiesOptions{
+				Duration: scale(30*time.Minute, 10*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintKeepAliveStrategies(w, rows)
+			return rows, nil
+		}},
+		{"ext-percentile", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.PercentileSweep(experiments.PercentileSweepOptions{
+				Duration: scale(20*time.Minute, 8*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintPercentileSweep(w, rows)
+			return rows, nil
+		}},
+		{"ext-rack", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.RackDensity(experiments.RackDensityOptions{
+				Duration: scale(20*time.Minute, 8*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintRackDensity(w, rows)
+			return rows, nil
+		}},
+	}
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

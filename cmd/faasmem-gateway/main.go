@@ -1,0 +1,32 @@
+// Command faasmem-gateway serves the simulator over HTTP — the evaluation
+// workflow analogue of the paper artifact's gateway/test_server pair.
+//
+//	faasmem-gateway -addr :8080
+//	curl -s localhost:8080/benchmarks | jq '.[].Name'
+//	curl -s -XPOST localhost:8080/run -d '{"bench":"bert","policy":"faasmem"}'
+//	curl -s -XPOST localhost:8080/experiments/fig12 | jq .
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gateway.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("faasmem-gateway listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Command faasmem-sim runs a single serverless memory-offloading scenario
+// and prints its outcome: one benchmark, one policy, one synthetic
+// invocation timeline (or a real Azure CSV trace function).
+//
+// Usage:
+//
+//	faasmem-sim -bench bert -policy faasmem -duration 30m -gap 10s -bursty
+//	faasmem-sim -bench web -compare
+//	faasmem-sim -profiles my-profiles.json -bench mysvc -policy faasmem
+//	faasmem-sim -azure trace.csv -policy faasmem     # busiest trace function
+//
+// Policies: baseline, tmo, damon, faasmem, faasmem-w/o-pucket,
+// faasmem-w/o-semiwarm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "bert", "benchmark: "+strings.Join(workload.Names(), ", "))
+	policyName := flag.String("policy", "faasmem", "offloading policy")
+	duration := flag.Duration("duration", 30*time.Minute, "trace duration")
+	gap := flag.Duration("gap", 10*time.Second, "mean inter-arrival gap")
+	bursty := flag.Bool("bursty", false, "bursty (Markov-modulated) arrivals")
+	keepAlive := flag.Duration("keepalive", 10*time.Minute, "keep-alive timeout")
+	seed := flag.Int64("seed", 1, "random seed")
+	compare := flag.Bool("compare", false, "run every policy on the same trace and print a comparison table")
+	profilesPath := flag.String("profiles", "", "JSON file with extra workload profiles (see workload.WriteProfiles)")
+	azurePath := flag.String("azure", "", "replay the busiest function of a real Azure Functions Invocation Trace 2021 CSV instead of generating arrivals")
+	flag.Parse()
+	benchPinned := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" {
+			benchPinned = true
+		}
+	})
+
+	available := workload.Profiles()
+	if *profilesPath != "" {
+		extra, err := workload.LoadProfiles(*profilesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		available = append(available, extra...)
+	}
+	byName := func(name string) *workload.Profile {
+		for _, p := range available {
+			if p.Name == name {
+				return p
+			}
+		}
+		return nil
+	}
+	names := make([]string, len(available))
+	for i, p := range available {
+		names[i] = p.Name
+	}
+
+	prof := byName(*bench)
+	if prof == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; options: %s\n", *bench, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	kind := experiments.PolicyKind(*policyName)
+	if !experiments.ValidPolicy(kind) {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+
+	var fn *trace.Function
+	if *azurePath != "" {
+		var err error
+		fn, prof, err = azureFunction(*azurePath, prof, available, benchPinned)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		*duration = lastInvocation(fn) + time.Second
+	} else {
+		fn = trace.GenerateFunction(*bench, *duration, *gap, *bursty, *seed)
+	}
+	if *compare {
+		fmt.Printf("%s: %d requests over %v (gap %v, bursty=%v)\n\n", prof.Name, len(fn.Invocations), *duration, *gap, *bursty)
+		fmt.Printf("  %-22s %8s %8s %8s %12s %12s\n", "policy", "P50", "P95", "P99", "avg mem", "offloaded")
+		for _, pk := range experiments.PolicyKinds() {
+			o := experiments.RunScenario(experiments.Scenario{
+				Profile:     prof,
+				Invocations: fn.Invocations,
+				Duration:    *duration,
+				KeepAlive:   *keepAlive,
+				Policy:      pk,
+				SeedHistory: true,
+				Seed:        *seed,
+			})
+			fmt.Printf("  %-22s %7.3fs %7.3fs %7.3fs %9.1f MB %9.1f MB\n",
+				pk, o.P50, o.P95, o.P99, o.AvgLocalMB, o.OffloadedMB)
+		}
+		return
+	}
+	out := experiments.RunScenario(experiments.Scenario{
+		Profile:     prof,
+		Invocations: fn.Invocations,
+		Duration:    *duration,
+		KeepAlive:   *keepAlive,
+		Policy:      kind,
+		SeedHistory: true,
+		Seed:        *seed,
+	})
+
+	fmt.Printf("benchmark        %s (%s policy)\n", prof.Name, kind)
+	fmt.Printf("requests         %d  (cold %d, warm %d, semi-warm %d)\n",
+		out.Requests, out.ColdStarts, out.WarmStarts, out.SemiWarmStarts)
+	fmt.Printf("latency          avg %.3fs  P50 %.3fs  P95 %.3fs  P99 %.3fs\n",
+		out.AvgLat, out.P50, out.P95, out.P99)
+	fmt.Printf("local memory     avg %.1f MB  peak %.1f MB\n", out.AvgLocalMB, out.PeakLocalMB)
+	fmt.Printf("remote memory    avg %.1f MB\n", out.AvgRemoteMB)
+	fmt.Printf("pool traffic     offloaded %.1f MB (%.3f MB/s)  recalled %.1f MB (%.3f MB/s)\n",
+		out.OffloadedMB, out.OffloadBWMBps, out.RecalledMB, out.RecallBWMBps)
+	fmt.Printf("page faults      %d (runtime segment: %d)\n", out.FaultPages, out.RuntimeFaultPages)
+	if cs := out.CoreStats; cs != nil {
+		fmt.Printf("faasmem          runtime offloads %d, init offloads %d, rollbacks %d, semi-warm entries %d\n",
+			cs.RuntimeOffloads, cs.InitOffloads, cs.Rollbacks, cs.SemiWarmEntries)
+	}
+}
+
+// azureFunction loads a real Azure CSV and returns its busiest function,
+// paired with the available profile whose execution time is nearest the
+// function's measured mean duration (unless the user pinned -bench).
+func azureFunction(path string, pinned *workload.Profile, available []*workload.Profile, userPinned bool) (*trace.Function, *workload.Profile, error) {
+	tr, durations, err := trace.LoadAzureCSV(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var busiest *trace.Function
+	for _, f := range tr.Functions {
+		if busiest == nil || len(f.Invocations) > len(busiest.Invocations) {
+			busiest = f
+		}
+	}
+	prof := pinned
+	if !userPinned {
+		mean := trace.MeanDuration(durations[busiest.ID])
+		best := math.Inf(1)
+		for _, p := range available {
+			if d := math.Abs((p.ExecTime - mean).Seconds()); d < best {
+				best = d
+				prof = p
+			}
+		}
+	}
+	fmt.Printf("azure trace %s: replaying %q (%d invocations, mean duration %v) as %q\n",
+		path, busiest.ID, len(busiest.Invocations),
+		trace.MeanDuration(durations[busiest.ID]).Round(time.Millisecond), prof.Name)
+	return busiest, prof, nil
+}
+
+func lastInvocation(f *trace.Function) simtime.Time {
+	if len(f.Invocations) == 0 {
+		return 0
+	}
+	return f.Invocations[len(f.Invocations)-1]
+}

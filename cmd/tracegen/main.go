@@ -1,0 +1,80 @@
+// Command tracegen generates a synthetic Azure-like invocation trace and
+// writes it as JSON, or prints statistics of an existing trace file.
+//
+// Usage:
+//
+//	tracegen -out trace.json -functions 424 -duration 24h -seed 7
+//	tracegen -stats trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", "", "output JSON path (generation mode)")
+	stats := flag.String("stats", "", "print statistics of an existing trace file")
+	azure := flag.String("azure", "", "convert a real Azure Functions Invocation Trace 2021 CSV to the JSON format (use with -out) or print its stats")
+	functions := flag.Int("functions", 424, "number of functions")
+	duration := flag.Duration("duration", 24*time.Hour, "trace window")
+	median := flag.Float64("median", 300, "median daily invocation rate")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	switch {
+	case *azure != "":
+		tr, _, err := trace.LoadAzureCSV(*azure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			if err := tr.Save(*out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("converted %s -> %s\n", *azure, *out)
+		}
+		printStats(tr)
+	case *stats != "":
+		tr, err := trace.Load(*stats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printStats(tr)
+	case *out != "":
+		tr := trace.Generate(trace.GenConfig{
+			NumFunctions:    *functions,
+			Duration:        *duration,
+			MedianDailyRate: *median,
+		}, *seed)
+		if err := tr.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d functions, %d invocations over %v\n",
+			*out, len(tr.Functions), tr.TotalInvocations(), tr.Duration)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	fmt.Printf("functions      %d\n", len(tr.Functions))
+	fmt.Printf("invocations    %d\n", tr.TotalInvocations())
+	fmt.Printf("duration       %v\n", tr.Duration)
+	byClass := tr.ByClass()
+	for _, cl := range []trace.LoadClass{trace.HighLoad, trace.MediumLoad, trace.LowLoad} {
+		fmt.Printf("%-8v load   %d functions\n", cl, len(byClass[cl]))
+	}
+	ka := trace.SimulateTraceKeepAlive(tr, 500*time.Millisecond, 10*time.Minute)
+	fmt.Printf("10m keep-alive inactive time %.1f%%, cold-start ratio %.2f%%\n",
+		ka.InactiveFraction()*100, ka.ColdStartRatio()*100)
+}

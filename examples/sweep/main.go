@@ -1,0 +1,55 @@
+// Sweep example: a sensitivity study the paper's fixed setup can't show —
+// how FaaSMem's memory savings and the baseline's footprint respond to the
+// keep-alive timeout, printed as a table and written as CSV.
+//
+//	go run ./examples/sweep > sweep.csv
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+func main() {
+	const duration = 20 * time.Minute
+	prof := workload.Web()
+	fn := trace.GenerateFunction("web", duration, 20*time.Second, false, 17)
+
+	var points []experiments.SweepPoint
+	for _, ka := range []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute, 20 * time.Minute} {
+		for _, pk := range []experiments.PolicyKind{experiments.Baseline, experiments.FaaSMem} {
+			points = append(points, experiments.SweepPoint{
+				Label: fmt.Sprintf("keepalive=%v/%s", ka, pk),
+				Scenario: experiments.Scenario{
+					Profile:     prof,
+					Invocations: fn.Invocations,
+					Duration:    duration,
+					KeepAlive:   ka,
+					Policy:      pk,
+					SeedHistory: true,
+					Seed:        17,
+				},
+			})
+		}
+	}
+
+	results := experiments.Sweep(points)
+
+	fmt.Fprintf(os.Stderr, "keep-alive sweep, web benchmark, %d requests:\n\n", len(fn.Invocations))
+	fmt.Fprintf(os.Stderr, "  %-28s %10s %10s %8s\n", "point", "avg mem", "cold", "P95")
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "  %-28s %7.1f MB %10d %7.3fs\n",
+			r.Label, r.Outcome.AvgLocalMB, r.Outcome.ColdStarts, r.Outcome.P95)
+	}
+	fmt.Fprintln(os.Stderr, "\nCSV on stdout — pipe to a file for plotting.")
+
+	if err := experiments.WriteSweepCSV(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/faasmem/faasmem
+
+go 1.22

@@ -1,0 +1,195 @@
+package cgroup
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestChargeUncharge(t *testing.T) {
+	g := New("c0", 0)
+	g.Charge(0, 1000)
+	if g.LocalBytes() != 1000 {
+		t.Fatalf("LocalBytes = %d, want 1000", g.LocalBytes())
+	}
+	g.Uncharge(time.Second, 400)
+	if g.LocalBytes() != 600 {
+		t.Fatalf("LocalBytes = %d, want 600", g.LocalBytes())
+	}
+	if g.Name() != "c0" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestOffloadMovesResidency(t *testing.T) {
+	g := New("c", 0)
+	g.Charge(0, 1000)
+	g.Offload(time.Second, 300)
+	if g.LocalBytes() != 700 || g.RemoteBytes() != 300 {
+		t.Fatalf("local/remote = %d/%d, want 700/300", g.LocalBytes(), g.RemoteBytes())
+	}
+	if g.OffloadedBytes() != 300 {
+		t.Fatalf("OffloadedBytes = %d", g.OffloadedBytes())
+	}
+}
+
+func TestRecallMovesBack(t *testing.T) {
+	g := New("c", 0)
+	g.Charge(0, 1000)
+	g.Offload(time.Second, 500)
+	g.Recall(2*time.Second, 200)
+	if g.LocalBytes() != 700 || g.RemoteBytes() != 300 {
+		t.Fatalf("local/remote = %d/%d, want 700/300", g.LocalBytes(), g.RemoteBytes())
+	}
+	if g.RecalledBytes() != 200 {
+		t.Fatalf("RecalledBytes = %d", g.RecalledBytes())
+	}
+	// Total traffic counters are cumulative, not net.
+	if g.OffloadedBytes() != 500 {
+		t.Fatalf("OffloadedBytes = %d, want cumulative 500", g.OffloadedBytes())
+	}
+}
+
+func TestDropRemote(t *testing.T) {
+	g := New("c", 0)
+	g.Charge(0, 100)
+	g.Offload(0, 100)
+	g.DropRemote(time.Second, 100)
+	if g.RemoteBytes() != 0 {
+		t.Fatalf("RemoteBytes = %d, want 0", g.RemoteBytes())
+	}
+	if g.RecalledBytes() != 0 {
+		t.Fatal("DropRemote must not count as recall traffic")
+	}
+}
+
+func TestAvgLocalBytesTimeWeighted(t *testing.T) {
+	g := New("c", 0)
+	g.Charge(0, 1000)
+	g.Offload(10*time.Second, 500) // 1000 for 10s, then 500 for 10s
+	got := g.AvgLocalBytes(20 * time.Second)
+	if math.Abs(got-750) > 1e-9 {
+		t.Fatalf("AvgLocalBytes = %v, want 750", got)
+	}
+	if gotR := g.AvgRemoteBytes(20 * time.Second); math.Abs(gotR-250) > 1e-9 {
+		t.Fatalf("AvgRemoteBytes = %v, want 250", gotR)
+	}
+}
+
+func TestPeakLocal(t *testing.T) {
+	g := New("c", 0)
+	g.Charge(0, 100)
+	g.Charge(time.Second, 400)
+	g.Uncharge(2*time.Second, 450)
+	if g.PeakLocalBytes() != 500 {
+		t.Fatalf("PeakLocalBytes = %d, want 500", g.PeakLocalBytes())
+	}
+}
+
+func TestPSIStartsAtZero(t *testing.T) {
+	p := NewPSI(0)
+	if p.Avg10(time.Minute) != 0 || p.Avg60(time.Minute) != 0 || p.Avg300(time.Minute) != 0 {
+		t.Fatal("fresh PSI should be zero")
+	}
+	if p.Total() != 0 {
+		t.Fatal("fresh PSI total should be zero")
+	}
+}
+
+func TestPSIStallRaisesAverages(t *testing.T) {
+	p := NewPSI(0)
+	p.AddStall(10*time.Second, 2*time.Second)
+	a10 := p.Avg10(10 * time.Second)
+	a60 := p.Avg60(10 * time.Second)
+	if a10 <= 0 || a60 <= 0 {
+		t.Fatal("stall did not raise averages")
+	}
+	// The short window reacts more strongly than the long one.
+	if a10 <= a60 {
+		t.Fatalf("avg10 %v should exceed avg60 %v after a burst", a10, a60)
+	}
+	if p.Total() != 2*time.Second {
+		t.Fatalf("total = %v", p.Total())
+	}
+}
+
+func TestPSIDecays(t *testing.T) {
+	p := NewPSI(0)
+	p.AddStall(0, time.Second)
+	early := p.Avg10(time.Second)
+	late := p.Avg10(time.Minute)
+	if late >= early {
+		t.Fatalf("avg10 did not decay: %v -> %v", early, late)
+	}
+	// After 10 half-lives it is essentially gone.
+	if p.Avg10(2*time.Minute) > early/100 {
+		t.Fatal("avg10 decays too slowly")
+	}
+	// The 300 s window holds on longer.
+	if p.Avg300(time.Minute) <= p.Avg10(time.Minute) {
+		t.Fatal("long window should outlast short window")
+	}
+}
+
+func TestPSISustainedStallApproachesFraction(t *testing.T) {
+	// Stalling 50% of every second converges near 0.5 on the 10 s window
+	// (geometric series of per-second contributions).
+	p := NewPSI(0)
+	for i := 1; i <= 200; i++ {
+		p.AddStall(time.Duration(i)*time.Second, 500*time.Millisecond)
+	}
+	got := p.Avg10(200 * time.Second)
+	if got < 0.4 || got > 0.9 {
+		t.Fatalf("sustained 50%% stall: avg10 = %v, want ~0.5-0.7", got)
+	}
+}
+
+func TestPSINegativeStallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative stall did not panic")
+		}
+	}()
+	NewPSI(0).AddStall(0, -time.Second)
+}
+
+func TestHierarchyPropagates(t *testing.T) {
+	node := New("node", 0)
+	a := node.NewChild("a", 0)
+	b := node.NewChild("b", 0)
+	if a.Parent() != node || node.Parent() != nil {
+		t.Fatal("parent links wrong")
+	}
+	a.Charge(0, 100)
+	b.Charge(0, 50)
+	if node.LocalBytes() != 150 {
+		t.Fatalf("node local = %d, want 150", node.LocalBytes())
+	}
+	a.Offload(time.Second, 40)
+	if node.LocalBytes() != 110 || node.RemoteBytes() != 40 {
+		t.Fatalf("node after offload = %d/%d", node.LocalBytes(), node.RemoteBytes())
+	}
+	if node.OffloadedBytes() != 40 {
+		t.Fatalf("node offloaded = %d", node.OffloadedBytes())
+	}
+	a.Recall(2*time.Second, 40)
+	b.Uncharge(2*time.Second, 50)
+	a.Uncharge(2*time.Second, 100)
+	if node.LocalBytes() != 0 || node.RemoteBytes() != 0 {
+		t.Fatalf("node not drained: %d/%d", node.LocalBytes(), node.RemoteBytes())
+	}
+	// Siblings stay independent.
+	if b.OffloadedBytes() != 0 {
+		t.Fatal("sibling accounting leaked")
+	}
+}
+
+func TestHierarchyTimeWeightedAverage(t *testing.T) {
+	node := New("node", 0)
+	c := node.NewChild("c", 0)
+	c.Charge(0, 100)
+	c.Uncharge(10*time.Second, 100)
+	if got := node.AvgLocalBytes(20 * time.Second); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("node avg = %v, want 50", got)
+	}
+}

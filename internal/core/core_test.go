@@ -1,0 +1,450 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// testProfile: 2 MB runtime (0.5 MB hot), 1 MB init (0.25 MB hot), fast.
+func testProfile() *workload.Profile {
+	return &workload.Profile{
+		Name:            "t",
+		Language:        workload.Python,
+		CPUShare:        0.1,
+		RuntimeBytes:    2 * workload.MB,
+		RuntimeHotBytes: 512 * 1024,
+		InitBytes:       1 * workload.MB,
+		InitHotBytes:    256 * 1024,
+		Pattern:         workload.FixedHot,
+		ExecBytes:       128 * 1024,
+		ExecTime:        50 * time.Millisecond,
+		InitTime:        100 * time.Millisecond,
+		LaunchTime:      100 * time.Millisecond,
+		QuotaBytes:      8 * workload.MB,
+	}
+}
+
+func runScenario(t *testing.T, fm *FaaSMem, prof *workload.Profile, invocations []simtime.Time, until time.Duration) (*simtime.Engine, *faas.Platform, *faas.Function) {
+	t.Helper()
+	e := simtime.NewEngine()
+	p := faas.New(e, faas.Config{KeepAliveTimeout: 10 * time.Minute, Seed: 7}, fm)
+	f := p.Register(prof.Name, prof)
+	p.ScheduleInvocations(prof.Name, invocations)
+	if until > 0 {
+		e.RunUntil(until)
+	} else {
+		e.Run()
+	}
+	return e, p, f
+}
+
+func ts(vals ...float64) []simtime.Time {
+	out := make([]simtime.Time, len(vals))
+	for i, v := range vals {
+		out[i] = simtime.Time(v * float64(time.Second))
+	}
+	return out
+}
+
+func TestRuntimePucketReactiveOffload(t *testing.T) {
+	fm := New(Config{DisableSemiWarm: true})
+	_, p, _ := runScenario(t, fm, testProfile(), ts(0), time.Second)
+	if fm.Stats().RuntimeOffloads != 1 {
+		t.Fatalf("runtime offloads = %d, want 1", fm.Stats().RuntimeOffloads)
+	}
+	// Cold runtime pages (2 MB − 0.5 MB hot) went remote.
+	remote := p.Pool().Used()
+	wantMin := int64(1 * workload.MB)
+	if remote < wantMin {
+		t.Fatalf("pool holds %d bytes after first request, want >= %d", remote, wantMin)
+	}
+}
+
+func TestRuntimeRecallsAreFew(t *testing.T) {
+	// Fig 8: after the reactive offload, subsequent requests recall almost
+	// nothing from the Runtime Pucket.
+	fm := New(Config{DisableSemiWarm: true})
+	_, _, f := runScenario(t, fm, testProfile(), ts(0, 1, 2, 3, 4, 5), 10*time.Second)
+	if f.Stats().Requests != 6 {
+		t.Fatalf("requests = %d, want 6", f.Stats().Requests)
+	}
+	if f.Stats().RuntimeFaultPages != 0 {
+		t.Fatalf("runtime recalls = %d, want 0 (hot set stayed local)", f.Stats().RuntimeFaultPages)
+	}
+}
+
+func TestInitWindowOffload(t *testing.T) {
+	fm := New(Config{DisableSemiWarm: true, GradientRuns: 2})
+	_, p, _ := runScenario(t, fm, testProfile(), ts(0, 1, 2, 3, 4, 5, 6, 7), 10*time.Second)
+	if fm.Stats().InitOffloads != 1 {
+		t.Fatalf("init offloads = %d, want 1", fm.Stats().InitOffloads)
+	}
+	if len(fm.Stats().WindowSizes) != 1 {
+		t.Fatalf("window sizes = %v", fm.Stats().WindowSizes)
+	}
+	w := fm.Stats().WindowSizes[0]
+	// FixedHot stabilizes immediately: expect a small window.
+	if w < 1 || w > 5 {
+		t.Fatalf("window = %d, want small for stable access pattern", w)
+	}
+	// Init cold pages (1 MB − 0.25 MB) are remote on top of runtime's.
+	if p.Pool().Used() < int64(2*workload.MB) {
+		t.Fatalf("pool holds %d, want runtime+init cold pages", p.Pool().Used())
+	}
+}
+
+func TestInitWindowLargerForParetoWorkload(t *testing.T) {
+	// A web-like profile keeps discovering newly-touched objects, so the
+	// descent gradient flattens later than for a fixed hot set.
+	web := testProfile()
+	web.Name = "weblike"
+	web.InitBytes = 4 * workload.MB
+	web.InitHotBytes = 256 * 1024
+	web.Pattern = workload.ParetoObjects
+	web.Objects = 24
+	web.ParetoAlpha = 1.1
+
+	fixed := testProfile()
+
+	run := func(prof *workload.Profile) int {
+		fm := New(Config{DisableSemiWarm: true})
+		var inv []simtime.Time
+		for i := 0; i < 40; i++ {
+			inv = append(inv, simtime.Time(i)*simtime.Time(time.Second))
+		}
+		runScenario(t, fm, prof, inv, 60*time.Second)
+		if len(fm.Stats().WindowSizes) == 0 {
+			t.Fatalf("%s: window never chosen", prof.Name)
+		}
+		return fm.Stats().WindowSizes[0]
+	}
+	wFixed := run(fixed)
+	wWeb := run(web)
+	if wWeb <= wFixed {
+		t.Errorf("pareto window (%d) should exceed fixed-hot window (%d)", wWeb, wFixed)
+	}
+}
+
+func TestRollbackReoffloadsColdPages(t *testing.T) {
+	fm := New(Config{DisableSemiWarm: true, RollbackMinInterval: 2 * time.Second, GradientRuns: 2})
+	var inv []simtime.Time
+	for i := 0; i < 30; i++ {
+		inv = append(inv, simtime.Time(i)*simtime.Time(time.Second))
+	}
+	_, _, _ = runScenario(t, fm, testProfile(), inv, 40*time.Second)
+	if fm.Stats().Rollbacks == 0 {
+		t.Fatal("no rollback cycles despite long request stream")
+	}
+}
+
+func TestRollbackDemotesOnlyHotPoolPages(t *testing.T) {
+	// Unit-level check of rollback mechanics through a scripted container.
+	e := simtime.NewEngine()
+	p := faas.New(e, faas.Config{KeepAliveTimeout: time.Hour, Seed: 1}, New(Config{DisableSemiWarm: true}))
+	f := p.Register("t", testProfile())
+	p.ScheduleInvocations("t", ts(0))
+	e.RunUntil(time.Second)
+	// Find the container through the platform's registered function.
+	if f.LiveContainers() != 1 {
+		t.Fatal("expected one live container")
+	}
+	// The runtime hot pages were promoted to the hot pool generation.
+	// (Indirect check: pool used < full runtime size, meaning hot pages
+	// stayed local.)
+	if p.Pool().Used() >= int64(2*workload.MB) {
+		t.Fatal("hot pages were offloaded with the cold ones")
+	}
+}
+
+func TestSemiWarmGradualOffload(t *testing.T) {
+	fm := New(Config{
+		FallbackSemiWarmDelay: 5 * time.Second,
+		BytesPerSecond:        256 * 1024,
+		DisablePucket:         true, // isolate semi-warm
+	})
+	e, p, _ := runScenario(t, fm, testProfile(), ts(0), 0)
+	_ = e
+	if fm.Stats().SemiWarmEntries != 1 {
+		t.Fatalf("semi-warm entries = %d, want 1", fm.Stats().SemiWarmEntries)
+	}
+	// Gradual: by the end (keep-alive expiry at +10 min) everything
+	// offloadable went remote... and was then discarded at recycle.
+	// Check instead that the pool saw offload traffic in many small steps.
+	if p.Pool().Meter(0).Total() == 0 {
+		t.Fatal("semi-warm offloaded nothing")
+	}
+	// Share of lifetime spent semi-warm is recorded at recycle.
+	if shares := fm.Stats().SemiWarmShares(); len(shares) != 1 || shares[0] <= 0 {
+		t.Fatalf("semi-warm shares = %v", shares)
+	}
+}
+
+func TestSemiWarmAbortsOnRequest(t *testing.T) {
+	fm := New(Config{
+		FallbackSemiWarmDelay: 2 * time.Second,
+		BytesPerSecond:        2 * workload.MB, // fast enough to reach hot pages
+		DisablePucket:         true,
+	})
+	// Second request arrives mid semi-warm (idle from ~0.25 s, semi-warm at
+	// ~2.25 s, reuse at 5 s). Stop before the second idle period re-enters
+	// semi-warm at ~7.05 s.
+	_, p, f := runScenario(t, fm, testProfile(), ts(0, 5), 7*time.Second)
+	if fm.Stats().SemiWarmEntries != 1 {
+		t.Fatalf("semi-warm entries = %d, want 1", fm.Stats().SemiWarmEntries)
+	}
+	if f.Stats().SemiWarmStarts != 1 {
+		t.Fatalf("semi-warm starts = %d, want 1", f.Stats().SemiWarmStarts)
+	}
+	// Offloading stopped at reuse: local memory recovered for the hot set
+	// and the second request faulted some pages back.
+	if f.Stats().FaultPages == 0 {
+		t.Fatal("reused semi-warm container should fault offloaded pages back")
+	}
+	_ = p
+}
+
+func TestSemiWarmTimingFromSeededHistory(t *testing.T) {
+	fm := New(Config{MinIntervalSamples: 4})
+	intervals := []time.Duration{
+		time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second,
+		5 * time.Second, 6 * time.Second, 7 * time.Second, 100 * time.Second,
+	}
+	fm.SeedReuseIntervals("f", intervals)
+	got := fm.semiWarmDelay("f")
+	// P99 of 8 samples → index 6 (0-based int truncation) or the tail.
+	if got < 7*time.Second {
+		t.Fatalf("semi-warm delay = %v, want high percentile of history", got)
+	}
+}
+
+func TestSemiWarmTimingFallbackAndOverride(t *testing.T) {
+	fm := New(Config{FallbackSemiWarmDelay: 90 * time.Second})
+	if got := fm.semiWarmDelay("unknown"); got != 90*time.Second {
+		t.Fatalf("fallback delay = %v", got)
+	}
+	fm.SetSemiWarmTiming("unknown", 7*time.Second)
+	if got := fm.semiWarmDelay("unknown"); got != 7*time.Second {
+		t.Fatalf("override delay = %v", got)
+	}
+}
+
+func TestHistoryTrimming(t *testing.T) {
+	fm := New(Config{HistoryLimit: 10})
+	var iv []time.Duration
+	for i := 0; i < 50; i++ {
+		iv = append(iv, time.Duration(i)*time.Second)
+	}
+	fm.SeedReuseIntervals("f", iv)
+	if got := len(fm.history("f").intervals); got != 10 {
+		t.Fatalf("history length = %d, want 10", got)
+	}
+	// Trim keeps the most recent entries.
+	if fm.history("f").intervals[0] != 40*time.Second {
+		t.Fatalf("trim kept wrong window: %v", fm.history("f").intervals[0])
+	}
+}
+
+func TestAblationDisablePucket(t *testing.T) {
+	fm := New(Config{DisablePucket: true, DisableSemiWarm: true})
+	_, p, _ := runScenario(t, fm, testProfile(), ts(0, 1, 2), 5*time.Second)
+	if p.Pool().Used() != 0 {
+		t.Fatalf("pool used = %d with both mechanisms disabled", p.Pool().Used())
+	}
+	if fm.Stats().RuntimeOffloads != 0 || fm.Stats().InitOffloads != 0 {
+		t.Fatal("pucket offloads ran despite DisablePucket")
+	}
+}
+
+func TestAblationDisableSemiWarm(t *testing.T) {
+	fm := New(Config{DisableSemiWarm: true, FallbackSemiWarmDelay: time.Second})
+	runScenario(t, fm, testProfile(), ts(0), 0)
+	if fm.Stats().SemiWarmEntries != 0 {
+		t.Fatal("semi-warm ran despite DisableSemiWarm")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[string]Config{
+		"faasmem":                     {},
+		"faasmem-w/o-pucket":          {DisablePucket: true},
+		"faasmem-w/o-semiwarm":        {DisableSemiWarm: true},
+		"faasmem-w/o-pucket-semiwarm": {DisablePucket: true, DisableSemiWarm: true},
+	}
+	for want, cfg := range cases {
+		if got := New(cfg).Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	fm := New(Config{})
+	c := fm.Config()
+	if c.GradientEpsilon != 0.02 || c.GradientRuns != 3 || c.MaxRequestWindow != 32 {
+		t.Error("gradient defaults wrong")
+	}
+	if c.RollbackMinInterval != 10*time.Second {
+		t.Error("rollback default wrong")
+	}
+	if c.SemiWarmPercentile != 99 || c.BytesPerSecond != 1_000_000 || c.PercentPerSecond != 0.01 {
+		t.Error("semi-warm defaults wrong")
+	}
+}
+
+// TestFaaSMemBeatsBaselineMemory is the headline integration check: over a
+// steady request stream plus idle tails, FaaSMem's node memory average is
+// substantially below the no-offload baseline at similar latency.
+func TestFaaSMemBeatsBaselineMemory(t *testing.T) {
+	var inv []simtime.Time
+	for i := 0; i < 20; i++ {
+		inv = append(inv, simtime.Time(i*2)*simtime.Time(time.Second))
+	}
+	run := func(pol policy.Policy) (avgMem float64, p95 float64) {
+		e := simtime.NewEngine()
+		p := faas.New(e, faas.Config{KeepAliveTimeout: 5 * time.Minute, Seed: 7}, pol)
+		f := p.Register("t", testProfile())
+		p.ScheduleInvocations("t", inv)
+		e.Run()
+		return p.NodeLocalAvg(), f.Stats().Latency.P95()
+	}
+	baseMem, baseP95 := run(policy.NoOffload{})
+	fmMem, fmP95 := run(New(Config{FallbackSemiWarmDelay: 30 * time.Second}))
+	if fmMem >= baseMem*0.8 {
+		t.Errorf("FaaSMem avg memory %.0f not << baseline %.0f", fmMem, baseMem)
+	}
+	if fmP95 > baseP95*1.5 {
+		t.Errorf("FaaSMem P95 %.3f degraded too much vs baseline %.3f", fmP95, baseP95)
+	}
+}
+
+// TestHotPagesSurviveUntilSemiWarm: without semi-warm, hot pages never leave
+// local memory; with it, they eventually do.
+func TestHotPagesLeaveOnlyViaSemiWarm(t *testing.T) {
+	prof := testProfile()
+	hotBytes := prof.RuntimeHotBytes + prof.InitHotBytes
+
+	noSW := New(Config{DisableSemiWarm: true})
+	_, pNo, _ := runScenario(t, noSW, prof, ts(0, 1), 0)
+	// Pool may hold cold pages, but never the hot set.
+	coldCapacity := prof.RuntimeBytes + prof.InitBytes - hotBytes
+	if pNo.Pool().Meter(0).Total() > coldCapacity+8*4096 {
+		t.Fatalf("without semi-warm, offloaded %d > cold capacity %d",
+			pNo.Pool().Meter(0).Total(), coldCapacity)
+	}
+
+	withSW := New(Config{FallbackSemiWarmDelay: 5 * time.Second, PercentPerSecond: 0.2, BytesPerSecond: 4 * workload.MB})
+	_, pYes, _ := runScenario(t, withSW, prof, ts(0, 1), 0)
+	if pYes.Pool().Meter(0).Total() <= pNo.Pool().Meter(0).Total() {
+		t.Fatal("semi-warm did not offload beyond the cold pages")
+	}
+}
+
+func TestStatsRecordedAtRecycle(t *testing.T) {
+	fm := New(Config{DisableSemiWarm: true})
+	runScenario(t, fm, testProfile(), ts(0), 0) // run to recycle
+	lifetimes := fm.Stats().ContainerLifetimes()
+	if len(lifetimes) != 1 {
+		t.Fatalf("container lifetimes = %v", lifetimes)
+	}
+	if lifetimes[0] <= 0 {
+		t.Fatal("lifetime must be positive")
+	}
+	if shares := fm.Stats().SemiWarmShares(); len(shares) != 1 || shares[0] != 0 {
+		t.Fatalf("semi-warm share should be 0 when disabled: %v", shares)
+	}
+	if fm.Stats().Containers[0].FunctionID != "t" {
+		t.Fatalf("container sample fn = %q", fm.Stats().Containers[0].FunctionID)
+	}
+}
+
+func TestAttachIndependentContainers(t *testing.T) {
+	// Two overlapping containers must not share window/rollback state.
+	fm := New(Config{DisableSemiWarm: true})
+	e := simtime.NewEngine()
+	p := faas.New(e, faas.Config{KeepAliveTimeout: time.Minute, Seed: 3}, fm)
+	p.Register("t", testProfile())
+	p.ScheduleInvocations("t", ts(0, 0.05, 1, 1.05, 2, 2.05, 3, 3.05))
+	e.Run()
+	if fm.Stats().RuntimeOffloads != 2 {
+		t.Fatalf("runtime offloads = %d, want 2 (one per container)", fm.Stats().RuntimeOffloads)
+	}
+}
+
+var _ policy.Policy = (*FaaSMem)(nil)
+var _ pagemem.State = pagemem.Inactive // keep import for clarity of intent
+
+func TestFixedRequestWindow(t *testing.T) {
+	fm := New(Config{DisableSemiWarm: true, FixedRequestWindow: 5})
+	_, _, _ = runScenario(t, fm, testProfile(), ts(0, 1, 2, 3, 4, 5, 6), 10*time.Second)
+	ws := fm.Stats().WindowSizes
+	if len(ws) != 1 || ws[0] != 5 {
+		t.Fatalf("window sizes = %v, want [5]", ws)
+	}
+}
+
+func TestFixedWindowOneOffloadsEarly(t *testing.T) {
+	early := New(Config{DisableSemiWarm: true, FixedRequestWindow: 1})
+	_, pEarly, _ := runScenario(t, early, testProfile(), ts(0, 1), 3*time.Second)
+	late := New(Config{DisableSemiWarm: true, FixedRequestWindow: 10})
+	_, pLate, _ := runScenario(t, late, testProfile(), ts(0, 1), 3*time.Second)
+	if pEarly.Pool().Used() <= pLate.Pool().Used() {
+		t.Fatalf("window=1 offloaded %d <= window=10 %d after two requests",
+			pEarly.Pool().Used(), pLate.Pool().Used())
+	}
+}
+
+func TestRollbackRespectsTimeParameter(t *testing.T) {
+	// With an enormous t, the rollback cycle never triggers no matter how
+	// many request-windows pass (§5.3: both windows must be satisfied).
+	fm := New(Config{DisableSemiWarm: true, RollbackMinInterval: time.Hour, GradientRuns: 2})
+	var inv []simtime.Time
+	for i := 0; i < 30; i++ {
+		inv = append(inv, simtime.Time(i)*simtime.Time(time.Second))
+	}
+	runScenario(t, fm, testProfile(), inv, 40*time.Second)
+	if fm.Stats().Rollbacks != 0 {
+		t.Fatalf("rollbacks = %d despite t=1h", fm.Stats().Rollbacks)
+	}
+}
+
+func TestMaxRequestWindowForcesOffload(t *testing.T) {
+	// A workload whose init gradient never flattens (full-scan graph keeps
+	// init pages hot, so remaining-inactive barely changes... use a pareto
+	// with huge object count) still seals the window at the cap.
+	prof := testProfile()
+	prof.Name = "churner"
+	prof.InitBytes = 4 * workload.MB
+	prof.InitHotBytes = 0
+	prof.Pattern = workload.ParetoObjects
+	prof.Objects = 1024
+	prof.ObjectsPerRequest = 4
+	prof.ParetoAlpha = 0.3 // nearly uniform: gradient keeps moving
+	fm := New(Config{DisableSemiWarm: true, MaxRequestWindow: 6, GradientEpsilon: 0.0001, GradientRuns: 50})
+	var inv []simtime.Time
+	for i := 0; i < 10; i++ {
+		inv = append(inv, simtime.Time(i)*simtime.Time(time.Second))
+	}
+	runScenario(t, fm, prof, inv, 15*time.Second)
+	ws := fm.Stats().WindowSizes
+	if len(ws) != 1 || ws[0] != 6 {
+		t.Fatalf("window sizes = %v, want capped [6]", ws)
+	}
+}
+
+func TestSemiWarmNotReenteredWhileBusy(t *testing.T) {
+	// The semi-warm timer can fire while the container is executing (timer
+	// from a previous idle period); it must notice and do nothing.
+	fm := New(Config{FallbackSemiWarmDelay: 950 * time.Millisecond, DisablePucket: true})
+	// Idle at ~0.25s; timer at ~1.2s; reuse at 1.1s puts the container busy
+	// (exec 50ms)... then idle again. No crash, consistent counters.
+	_, _, f := runScenario(t, fm, testProfile(), ts(0, 1.19), 3*time.Second)
+	if f.Stats().Requests != 2 {
+		t.Fatalf("requests = %d", f.Stats().Requests)
+	}
+}

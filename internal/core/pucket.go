@@ -1,0 +1,61 @@
+package core
+
+import (
+	"github.com/faasmem/faasmem/internal/mglru"
+	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// Pucket (Page Bucket) is the paper's §4 structure: a contiguous page range
+// sealed between two time barriers, implemented as one MGLRU generation. Its
+// *inactive list* is the set of its pages still in the Inactive state; pages
+// accessed after sealing move to the shared hot page pool (the youngest
+// generation) and can be rolled back for re-evaluation (§5.3).
+type Pucket struct {
+	// Seg is the page range the barrier sealed.
+	Seg pagemem.Range
+	// Gen is the MGLRU generation backing the Pucket.
+	Gen mglru.GenID
+}
+
+// InactivePages counts the Pucket's inactive list.
+func (p Pucket) InactivePages(s *pagemem.Space) int {
+	return s.CountInRange(p.Seg, pagemem.Inactive)
+}
+
+// HotPages counts this Pucket's pages currently in the hot page pool.
+func (p Pucket) HotPages(s *pagemem.Space) int {
+	return s.CountInRange(p.Seg, pagemem.Hot)
+}
+
+// RemotePages counts this Pucket's pages offloaded to the pool.
+func (p Pucket) RemotePages(s *pagemem.Space) int {
+	return s.CountInRange(p.Seg, pagemem.Remote)
+}
+
+// OffloadInactive offloads the whole inactive list through the view and
+// returns how many pages actually moved (the pool/link may truncate).
+func (p Pucket) OffloadInactive(e *simtime.Engine, v policy.View) int {
+	ids := policy.CollectPages(v.Space(), p.Seg, pagemem.Inactive, 0)
+	if len(ids) == 0 {
+		return 0
+	}
+	return v.OffloadPages(e, ids)
+}
+
+// Rollback demotes every hot-pool page of this Pucket back to its inactive
+// list (clearing access bits so the next request-window re-evaluates them)
+// and returns the number of pages rolled back.
+func (p Pucket) Rollback(s *pagemem.Space, lru *mglru.LRU) int {
+	n := 0
+	for id := p.Seg.Start; id < p.Seg.End; id++ {
+		if s.State(id) == pagemem.Hot {
+			s.SetState(id, pagemem.Inactive)
+			s.ClearAccessed(id)
+			lru.Demote(id, p.Gen)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/faasmem/faasmem/internal/mglru"
+	"github.com/faasmem/faasmem/internal/pagemem"
+)
+
+func newPucketFixture() (*pagemem.Space, *mglru.LRU, Pucket) {
+	s := pagemem.NewSpace(pagemem.DefaultPageSize)
+	lru := mglru.New(s)
+	s.Alloc(pagemem.SegRuntime, 10)
+	gen, seg := lru.InsertBarrier()
+	return s, lru, Pucket{Seg: seg, Gen: gen}
+}
+
+func TestPucketCounts(t *testing.T) {
+	s, lru, p := newPucketFixture()
+	if p.InactivePages(s) != 10 || p.HotPages(s) != 0 || p.RemotePages(s) != 0 {
+		t.Fatalf("fresh pucket counts = %d/%d/%d",
+			p.InactivePages(s), p.HotPages(s), p.RemotePages(s))
+	}
+	// Promote three pages to the hot pool, offload two.
+	for i := pagemem.PageID(0); i < 3; i++ {
+		s.SetState(p.Seg.Start+i, pagemem.Hot)
+		lru.Promote(p.Seg.Start + i)
+	}
+	s.SetState(p.Seg.Start+5, pagemem.Remote)
+	s.SetState(p.Seg.Start+6, pagemem.Remote)
+	if p.InactivePages(s) != 5 || p.HotPages(s) != 3 || p.RemotePages(s) != 2 {
+		t.Fatalf("counts = %d/%d/%d, want 5/3/2",
+			p.InactivePages(s), p.HotPages(s), p.RemotePages(s))
+	}
+}
+
+func TestPucketRollback(t *testing.T) {
+	s, lru, p := newPucketFixture()
+	lru.InsertBarrier() // open the hot-pool generation
+	for i := pagemem.PageID(0); i < 4; i++ {
+		s.SetState(p.Seg.Start+i, pagemem.Hot)
+		lru.Promote(p.Seg.Start + i)
+	}
+	if got := p.Rollback(s, lru); got != 4 {
+		t.Fatalf("rollback moved %d pages, want 4", got)
+	}
+	if p.HotPages(s) != 0 || p.InactivePages(s) != 10 {
+		t.Fatalf("after rollback: hot=%d inactive=%d", p.HotPages(s), p.InactivePages(s))
+	}
+	// Rolled-back pages return to the Pucket's generation with clear bits.
+	for i := pagemem.PageID(0); i < 4; i++ {
+		id := p.Seg.Start + i
+		if lru.GenOf(id) != p.Gen {
+			t.Fatalf("page %d gen = %d, want %d", id, lru.GenOf(id), p.Gen)
+		}
+		if s.Accessed(id) {
+			t.Fatalf("page %d access bit survived rollback", id)
+		}
+	}
+	// Rollback is idempotent.
+	if got := p.Rollback(s, lru); got != 0 {
+		t.Fatalf("second rollback moved %d pages", got)
+	}
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Row compares one benchmark's P95 latency without offloading and with
+// DAMON.
+type Fig2Row struct {
+	Bench    string
+	BaseP95  float64 // seconds
+	DamonP95 float64 // seconds
+	Slowdown float64
+}
+
+// Fig2Options sizes the DAMON motivation study.
+type Fig2Options struct {
+	// Duration of the invocation trace per benchmark. Default 1 h (enough
+	// requests that cold starts fall below the 95th percentile).
+	Duration time.Duration
+	// MeanGap between requests. Default 40 s — long enough for DAMON's
+	// constant sampling to drain the idle containers' hot sets.
+	MeanGap time.Duration
+	Seed    int64
+	// Benches restricts the benchmark set (nil = all 11).
+	Benches []string
+}
+
+// Fig2 reproduces Figure 2: offloading with DAMON inflates the benchmarks'
+// P95 response latency (the paper observes up to 14×), because sampling
+// continues through keep-alive and classifies the next request's hot pages
+// as cold.
+func Fig2(opt Fig2Options) []Fig2Row {
+	if opt.Duration <= 0 {
+		opt.Duration = time.Hour
+	}
+	if opt.MeanGap <= 0 {
+		opt.MeanGap = 40 * time.Second
+	}
+	benches := opt.Benches
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	var rows []Fig2Row
+	for i, name := range benches {
+		prof := workload.ByName(name)
+		inv := trace.GenerateFunction(name, opt.Duration, opt.MeanGap, false, opt.Seed+int64(i)).Invocations
+		base := RunScenario(Scenario{Profile: prof, Invocations: inv, Duration: opt.Duration, Policy: Baseline, Seed: opt.Seed})
+		damon := RunScenario(Scenario{Profile: prof, Invocations: inv, Duration: opt.Duration, Policy: DAMON, Seed: opt.Seed})
+		slow := 0.0
+		if base.P95 > 0 {
+			slow = damon.P95 / base.P95
+		}
+		rows = append(rows, Fig2Row{Bench: name, BaseP95: base.P95, DamonP95: damon.P95, Slowdown: slow})
+	}
+	return rows
+}
+
+// PrintFig2 renders Figure 2.
+func PrintFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "Figure 2: P95 latency when offloading via DAMON")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Bench,
+			fmt.Sprintf("%.3fs", r.BaseP95),
+			fmt.Sprintf("%.3fs", r.DamonP95),
+			fmt.Sprintf("%.1fx", r.Slowdown),
+		}
+	}
+	writeTable(w, []string{"benchmark", "no-offload P95", "DAMON P95", "slowdown"}, table)
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8Row reports recalls from the Runtime Pucket for one benchmark.
+type Fig8Row struct {
+	Bench string
+	// RecallPages is how many runtime-segment pages subsequent requests
+	// recalled after the reactive offload.
+	RecallPages int64
+	Requests    int
+}
+
+// Fig8Options sizes the runtime-recall study.
+type Fig8Options struct {
+	// Requests per benchmark after the first. Default 20.
+	Requests int
+	// Gap between requests. Default 1 s.
+	Gap  time.Duration
+	Seed int64
+}
+
+// Fig8 reproduces Figure 8: after FaaSMem offloads the Runtime Pucket upon
+// first-request completion, later requests recall almost no runtime pages
+// (the paper counts 0–3 across the 11 benchmarks).
+func Fig8(opt Fig8Options) []Fig8Row {
+	if opt.Requests <= 0 {
+		opt.Requests = 20
+	}
+	if opt.Gap <= 0 {
+		opt.Gap = time.Second
+	}
+	var rows []Fig8Row
+	for _, prof := range workload.Profiles() {
+		var inv []time.Duration
+		for i := 0; i <= opt.Requests; i++ {
+			inv = append(inv, time.Duration(i)*opt.Gap)
+		}
+		out := RunScenario(Scenario{
+			Profile:     prof,
+			Invocations: inv,
+			Duration:    time.Duration(opt.Requests+2) * opt.Gap,
+			Policy:      FaaSMemNoSemi, // isolate the Pucket mechanisms
+			Seed:        opt.Seed,
+		})
+		rows = append(rows, Fig8Row{Bench: prof.Name, RecallPages: out.RuntimeFaultPages, Requests: out.Requests})
+	}
+	return rows
+}
+
+// PrintFig8 renders Figure 8.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Figure 8: pages recalled from the Runtime Pucket after reactive offload")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{r.Bench, fmt.Sprintf("%d", r.RecallPages), fmt.Sprintf("%d", r.Requests)}
+	}
+	writeTable(w, []string{"benchmark", "recall pages", "requests"}, table)
+}
+
+// ---------------------------------------------------------------- Figure 12
+
+// Fig12Row is one (benchmark, policy) cell of the headline comparison.
+type Fig12Row struct {
+	Bench  string
+	Load   string // "high" | "low"
+	Policy PolicyKind
+	// AvgLocalMB is the average node-local memory.
+	AvgLocalMB float64
+	// MemVsBase is AvgLocal normalized to the baseline (1.0 = no saving).
+	MemVsBase float64
+	// P95 is the 95%-ile end-to-end latency in seconds.
+	P95 float64
+	// P95VsBase is P95 normalized to the baseline.
+	P95VsBase float64
+}
+
+// Fig12Options sizes the Azure-trace evaluation.
+type Fig12Options struct {
+	// Duration of the high/low-load windows. Paper: 1 hour. Default 1 h.
+	Duration time.Duration
+	// KeepAlive defaults to 10 minutes.
+	KeepAlive time.Duration
+	Seed      int64
+	// Benches restricts the benchmark set (nil = all 11).
+	Benches []string
+	// Policies restricts the policy set (nil = Baseline, TMO, FaaSMem).
+	Policies []PolicyKind
+}
+
+// Fig12 reproduces Figure 12: normalized average local memory usage and P95
+// latency for the 11 benchmarks under a high-load and a low-load Azure-like
+// trace, comparing Baseline, TMO and FaaSMem. The paper reports FaaSMem
+// saving 27.1–71.0% (high) and 9.9–72.0% (low) with ≤ ~10% P95 impact, and
+// TMO saving only a few percent.
+func Fig12(opt Fig12Options) []Fig12Row {
+	if opt.Duration <= 0 {
+		opt.Duration = time.Hour
+	}
+	if opt.KeepAlive <= 0 {
+		opt.KeepAlive = 10 * time.Minute
+	}
+	benches := opt.Benches
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	policies := opt.Policies
+	if len(policies) == 0 {
+		policies = []PolicyKind{Baseline, TMO, FaaSMem}
+	}
+
+	var rows []Fig12Row
+	for li, load := range []string{"high", "low"} {
+		for bi, name := range benches {
+			prof := workload.ByName(name)
+			seed := opt.Seed + int64(li*100+bi)
+			var inv []time.Duration
+			if load == "high" {
+				inv = HighLoadInvocations(opt.Duration, seed)
+			} else {
+				inv = LowLoadInvocations(opt.Duration, seed)
+			}
+			var base Fig12Row
+			for _, pk := range policies {
+				out := RunScenario(Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    opt.Duration,
+					KeepAlive:   opt.KeepAlive,
+					Policy:      pk,
+					SeedHistory: true,
+					Seed:        seed,
+				})
+				row := Fig12Row{
+					Bench:      name,
+					Load:       load,
+					Policy:     pk,
+					AvgLocalMB: out.AvgLocalMB,
+					P95:        out.P95,
+				}
+				if pk == Baseline {
+					base = row
+				}
+				if base.AvgLocalMB > 0 {
+					row.MemVsBase = row.AvgLocalMB / base.AvgLocalMB
+				}
+				if base.P95 > 0 {
+					row.P95VsBase = row.P95 / base.P95
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// PrintFig12 renders the headline table.
+func PrintFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintln(w, "Figure 12: normalized memory usage and P95 latency (Azure-like traces)")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Load,
+			r.Bench,
+			string(r.Policy),
+			fmt.Sprintf("%.1f MB", r.AvgLocalMB),
+			fmt.Sprintf("%+.1f%%", (r.MemVsBase-1)*100),
+			fmt.Sprintf("%.3fs", r.P95),
+			fmt.Sprintf("%+.1f%%", (r.P95VsBase-1)*100),
+		}
+	}
+	writeTable(w, []string{"load", "benchmark", "policy", "avg local mem", "vs base", "P95", "vs base"}, table)
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one (trace, application, policy) cell of Table 1.
+type Table1Row struct {
+	TraceID int
+	App     string
+	Policy  PolicyKind
+	// P95 latency in seconds and average memory in GB (the paper's units).
+	P95   float64
+	MemGB float64
+	// OffloadRatio is the memory saved relative to the same trace's baseline.
+	OffloadRatio float64
+}
+
+// Table1Options sizes the diverse-traces study.
+type Table1Options struct {
+	// Duration per trace. Default 30 m (the paper uses 1-hour windows).
+	Duration  time.Duration
+	KeepAlive time.Duration
+	// Traces is the number of high-load traces. Default 6 (IDs 1–6; ID 5 is
+	// generated with an extreme short-term surge, as in the paper).
+	Traces int
+	Seed   int64
+}
+
+// Table1 reproduces Table 1: the three applications under six diverse
+// high-load traces, comparing Baseline, TMO and FaaSMem on P95 latency and
+// average memory. The paper's shape: FaaSMem's blocks are much darker (more
+// offload) than TMO's at equal latency; Web offloads the most, Graph the
+// least; trace ID-5's surge inflates everyone's tail latency.
+func Table1(opt Table1Options) []Table1Row {
+	if opt.Duration <= 0 {
+		opt.Duration = 30 * time.Minute
+	}
+	if opt.KeepAlive <= 0 {
+		opt.KeepAlive = 10 * time.Minute
+	}
+	if opt.Traces <= 0 {
+		opt.Traces = 6
+	}
+	apps := []string{"bert", "graph", "web"}
+	var rows []Table1Row
+	for id := 1; id <= opt.Traces; id++ {
+		// ID 5 is the anomalous surge trace.
+		surge := id == 5
+		for _, app := range apps {
+			prof := workload.ByName(app)
+			seed := opt.Seed + int64(id*10)
+			gap := 6 * time.Second
+			if surge {
+				gap = 2 * time.Second
+			}
+			inv := trace.GenerateFunction(app, opt.Duration, gap, surge, seed).Invocations
+			var baseMem float64
+			for _, pk := range []PolicyKind{Baseline, TMO, FaaSMem} {
+				out := RunScenario(Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    opt.Duration,
+					KeepAlive:   opt.KeepAlive,
+					Policy:      pk,
+					SeedHistory: true,
+					Seed:        seed,
+				})
+				row := Table1Row{
+					TraceID: id,
+					App:     app,
+					Policy:  pk,
+					P95:     out.P95,
+					MemGB:   out.AvgLocalMB / 1000,
+				}
+				if pk == Baseline {
+					baseMem = row.MemGB
+				}
+				if baseMem > 0 {
+					row.OffloadRatio = 1 - row.MemGB/baseMem
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: P95 latency and average memory under diverse traces")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			fmt.Sprintf("%d", r.TraceID),
+			r.App,
+			string(r.Policy),
+			fmt.Sprintf("%.2fs", r.P95),
+			fmt.Sprintf("%.2fG", r.MemGB),
+			fmt.Sprintf("%.0f%%", r.OffloadRatio*100),
+		}
+	}
+	writeTable(w, []string{"ID", "app", "policy", "P95", "mem", "offload"}, table)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/cluster"
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// RackRow summarizes one policy's rack-wide outcome under a DRAM limit.
+type RackRow struct {
+	Policy PolicyKind
+	// ColdStartRatio across all requests (evictions manufacture cold starts).
+	ColdStartRatio float64
+	// Evicted counts idle containers reclaimed by the memory limit.
+	Evicted int
+	// Requests served rack-wide.
+	Requests int
+	// AvgLocalMB is the summed average node-local memory.
+	AvgLocalMB float64
+	// OffloadBWMBps is the rack-level link's average offload bandwidth —
+	// §9 sizes the rack link from this number.
+	OffloadBWMBps float64
+}
+
+// RackDensityOptions sizes the rack study.
+type RackDensityOptions struct {
+	// Nodes in the rack. Default 4 (keeps the study fast; §9 uses ~10).
+	Nodes int
+	// NodeMemoryLimitMB is the per-node DRAM. Default 2000 MB — tight enough
+	// that the baseline must evict keep-alive containers.
+	NodeMemoryLimitMB int64
+	// Functions mapped round-robin onto the three applications. Default 12.
+	Functions int
+	// Duration of the trace. Default 20 m.
+	Duration time.Duration
+	Seed     int64
+}
+
+// RackDensity measures the deployment-density mechanism directly (instead of
+// Fig. 16's quota arithmetic): under the same per-node DRAM limit, FaaSMem's
+// offloading keeps more keep-alive containers resident, so fewer idle
+// containers are evicted and fewer requests cold-start.
+func RackDensity(opt RackDensityOptions) []RackRow {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 4
+	}
+	if opt.NodeMemoryLimitMB <= 0 {
+		opt.NodeMemoryLimitMB = 2000
+	}
+	if opt.Functions <= 0 {
+		opt.Functions = 12
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 20 * time.Minute
+	}
+	apps := []*workload.Profile{workload.Bert(), workload.Graph(), workload.Web()}
+
+	run := func(kind PolicyKind) RackRow {
+		e := simtime.NewEngine()
+		c := cluster.New(e, cluster.Config{
+			Nodes: opt.Nodes,
+			Node: faas.Config{
+				KeepAliveTimeout: 10 * time.Minute,
+				NodeMemoryLimit:  opt.NodeMemoryLimitMB * 1_000_000,
+				Seed:             opt.Seed,
+			},
+			Pool: rmem.Config{},
+		}, func() policy.Policy {
+			if kind == Baseline {
+				return policy.NoOffload{}
+			}
+			return core.New(core.Config{})
+		})
+		for i := 0; i < opt.Functions; i++ {
+			prof := *apps[i%len(apps)]
+			prof.Name = fmt.Sprintf("%s-%d", prof.Name, i)
+			fn := trace.GenerateFunction(prof.Name, opt.Duration,
+				time.Duration(20+7*i)*time.Second, i%2 == 0, opt.Seed+int64(i))
+			if len(fn.Invocations) == 0 {
+				continue
+			}
+			c.Register(prof.Name, &prof)
+			c.ScheduleInvocations(prof.Name, fn.Invocations)
+		}
+		e.RunUntil(opt.Duration + 10*time.Minute)
+		st := c.Stats()
+		row := RackRow{
+			Policy:        kind,
+			Evicted:       st.Evicted,
+			Requests:      st.Requests,
+			AvgLocalMB:    st.TotalLocalAvgMB,
+			OffloadBWMBps: st.OffloadBWMBps,
+		}
+		if st.Requests > 0 {
+			row.ColdStartRatio = float64(st.ColdStarts) / float64(st.Requests)
+		}
+		return row
+	}
+	return []RackRow{run(Baseline), run(FaaSMem)}
+}
+
+// PrintRackDensity renders the rack study.
+func PrintRackDensity(w io.Writer, rows []RackRow) {
+	fmt.Fprintln(w, "Extension (§8.6/§9): rack with per-node DRAM limits and a shared pool")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			string(r.Policy),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.2f%%", r.ColdStartRatio*100),
+			fmt.Sprintf("%d", r.Evicted),
+			fmt.Sprintf("%.0f MB", r.AvgLocalMB),
+			fmt.Sprintf("%.2f MB/s", r.OffloadBWMBps),
+		}
+	}
+	writeTable(w, []string{"policy", "requests", "cold-start ratio", "evictions", "avg rack local", "offload BW"}, table)
+}

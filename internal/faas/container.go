@@ -1,0 +1,400 @@
+package faas
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/cgroup"
+	"github.com/faasmem/faasmem/internal/mglru"
+	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// Container is one serverless container instance. It implements policy.View.
+type Container struct {
+	id string
+	fn *Function
+	p  *Platform
+
+	space *pagemem.Space
+	lru   *mglru.LRU
+	cg    *cgroup.Group
+	psi   *cgroup.PSI
+	pol   policy.ContainerPolicy
+	rng   *rand.Rand
+
+	runtimeRange pagemem.Range
+	initRange    pagemem.Range
+	execRange    pagemem.Range
+	runtimeGen   mglru.GenID
+	initGen      mglru.GenID
+
+	requests  int
+	idle      bool
+	started   simtime.Time // current request's execution start
+	curKind   StartKind    // how the current request found this container
+	curFaults int
+	curStall  time.Duration
+	idleSince simtime.Time
+	launched  simtime.Time
+	recycleEv *simtime.Event
+	dead      bool
+}
+
+// launch creates a container; memory arrives as lifecycle stages complete.
+func (p *Platform) launch(f *Function) *Container {
+	p.containers++
+	p.liveTotal++
+	f.live++
+	now := p.engine.Now()
+	p.addLive(now, 1)
+	c := &Container{
+		id:       fmt.Sprintf("%s#%d", f.id, p.containers),
+		fn:       f,
+		p:        p,
+		space:    pagemem.NewSpace(p.cfg.PageSize),
+		cg:       p.nodeCG.NewChild(fmt.Sprintf("%s#%d", f.id, p.containers), now),
+		psi:      cgroup.NewPSI(now),
+		rng:      rand.New(rand.NewSource(p.rng.Int63())),
+		launched: now,
+	}
+	c.lru = mglru.New(c.space)
+	c.pol = p.pol.Attach(p.engine, c)
+	return c
+}
+
+// runtimeLoaded materializes the runtime segment and inserts the
+// Runtime-Init time barrier.
+func (c *Container) runtimeLoaded(now simtime.Time) {
+	c.space.AllocBytes(pagemem.SegRuntime, c.fn.profile.RuntimeBytes)
+	c.runtimeGen, c.runtimeRange = c.lru.InsertBarrier()
+	bytes := c.space.BytesOf(c.runtimeRange.Len())
+	c.cg.Charge(now, bytes)
+	c.p.enforceMemoryLimit(now)
+	c.pol.RuntimeLoaded(c.p.engine)
+}
+
+// initDone materializes the init segment, inserts the Init-Execution time
+// barrier, and pre-allocates the (reused) exec-segment slots.
+func (c *Container) initDone(now simtime.Time) {
+	c.space.AllocBytes(pagemem.SegInit, c.fn.profile.InitBytes)
+	c.initGen, c.initRange = c.lru.InsertBarrier()
+	initBytes := c.space.BytesOf(c.initRange.Len())
+	c.cg.Charge(now, initBytes)
+	c.p.enforceMemoryLimit(now)
+
+	// Exec slots exist from here on but stay Free between requests; FaaSMem
+	// does not monitor them (paper §4), hence SkipNew.
+	c.space.AllocBytes(pagemem.SegExec, c.fn.profile.ExecBytes)
+	c.execRange = c.lru.SkipNew()
+	c.space.FreeRange(c.execRange)
+
+	c.pol.InitDone(c.p.engine)
+}
+
+// wake removes the container from keep-alive when a request arrives.
+func (c *Container) wake() {
+	c.idle = false
+	c.p.engine.Cancel(c.recycleEv)
+	c.recycleEv = nil
+}
+
+// execute runs one request to completion. arrival is when the request
+// entered the system (before any cold-start work), so recorded end-to-end
+// latency includes cold-start time.
+func (c *Container) execute(arrival simtime.Time) {
+	e := c.p.engine
+	now := e.Now()
+	c.started = now
+	prof := c.fn.profile
+
+	// Exec-segment temporaries come to life.
+	c.space.ReuseRange(c.execRange)
+	execBytes := c.space.BytesOf(c.execRange.Len())
+	c.cg.Charge(now, execBytes)
+	c.p.enforceMemoryLimit(now)
+
+	c.pol.RequestStart(e)
+
+	// Replay the request's page accesses.
+	touches := prof.RequestTouches(c.rng)
+	runtimeFaults, runtimeRA := c.touchSpans(c.runtimeRange, touches.Runtime)
+	initFaults, initRA := c.touchSpans(c.initRange, touches.Init)
+	c.touchSpans(c.execRange, []workload.Span{{Start: 0, End: execBytes}})
+	faults := runtimeFaults + initFaults
+	readahead := runtimeRA + initRA
+	c.fn.stats.RuntimeFaultPages += int64(runtimeFaults)
+	c.fn.stats.InitFaultPages += int64(initFaults)
+
+	// Remote faults stall the request and recall pages to local memory;
+	// readahead pages ride along on the cluster reads without adding fault
+	// rounds to the request's critical path.
+	var faultLat time.Duration
+	if faults+readahead > 0 {
+		pageBytes := int64(c.space.PageSize())
+		faultLat = c.p.pool.FaultBatch(now, faults, pageBytes)
+		if readahead > 0 {
+			c.p.pool.RecallBytes(now, int64(readahead)*pageBytes)
+		}
+		recalled := int64(faults+readahead) * pageBytes
+		c.cg.Recall(now, recalled)
+		c.p.enforceMemoryLimit(now)
+		c.p.swap.Release(faults + readahead)
+		c.fn.stats.FaultPages += int64(faults)
+	}
+
+	c.curFaults = faults
+	c.curStall = faultLat
+	latency := prof.ExecTime + faultLat
+	if faultLat > 0 {
+		// PSI accounts the stall at its completion time, like the kernel.
+		c.psi.AddStall(now+simtime.Time(latency), faultLat)
+	}
+
+	e.After(latency, func(e *simtime.Engine) {
+		c.finishRequest(arrival)
+	})
+}
+
+// touchSpans touches the pages covered by byte spans relative to seg's
+// start, promoting re-accessed pages to the hot pool and counting remote
+// faults. Pages recalled by a fault also land in the hot pool (paper §4:
+// "FaaSMem fetches the remote pages once accessed", recalls go to the hot
+// page pool). With swap readahead enabled, each fault also pulls in up to
+// the readahead window of virtually-contiguous remote neighbours, which are
+// recalled (counted separately) without their own fault rounds.
+func (c *Container) touchSpans(seg pagemem.Range, spans []workload.Span) (faults, readahead int) {
+	ps := int64(c.space.PageSize())
+	window := c.p.swap.Readahead()
+	for _, sp := range spans {
+		start := seg.Start + pagemem.PageID(sp.Start/ps)
+		end := seg.Start + pagemem.PageID((sp.End+ps-1)/ps)
+		if end > seg.End {
+			end = seg.End
+		}
+		for id := start; id < end; id++ {
+			switch c.space.Touch(id) {
+			case pagemem.Remote:
+				faults++
+				c.space.SetState(id, pagemem.Hot)
+				c.lru.Promote(id)
+				for ra := 0; ra < window; ra++ {
+					next := id + 1 + pagemem.PageID(ra)
+					if next >= seg.End || c.space.State(next) != pagemem.Remote {
+						break
+					}
+					readahead++
+					c.space.SetState(next, pagemem.Hot)
+					c.lru.Promote(next)
+				}
+			case pagemem.Inactive:
+				c.space.SetState(id, pagemem.Hot)
+				c.lru.Promote(id)
+			}
+		}
+	}
+	return faults, readahead
+}
+
+// finishRequest tears down the exec segment, records stats, runs policy
+// hooks and puts the container into keep-alive.
+func (c *Container) finishRequest(arrival simtime.Time) {
+	e := c.p.engine
+	now := e.Now()
+
+	// Exec temporaries are freed immediately on completion (paper §3.3).
+	freed := c.space.BytesOf(c.execRange.Len() - c.space.CountInRange(c.execRange, pagemem.Free))
+	c.space.FreeRange(c.execRange)
+	c.cg.Uncharge(now, freed)
+
+	c.requests++
+	c.fn.stats.Requests++
+	c.fn.stats.Latency.AddDuration(now - arrival)
+	c.fn.stats.ExecLatency.AddDuration(now - c.started)
+	c.p.reqLog.Add(RequestRecord{
+		Function:    c.fn.id,
+		Container:   c.id,
+		Kind:        c.curKind,
+		Arrival:     arrival,
+		Start:       c.started,
+		Latency:     now - arrival,
+		ExecLatency: now - c.started,
+		FaultPages:  c.curFaults,
+		StallTime:   c.curStall,
+	})
+
+	c.pol.RequestEnd(e)
+
+	// Serve queued work before idling: a congested function keeps its
+	// containers busy back to back.
+	if len(c.fn.queue) > 0 {
+		arrival := c.fn.queue[0]
+		c.fn.queue = c.fn.queue[1:]
+		c.fn.stats.WarmStarts++
+		c.curKind = QueuedStart
+		c.execute(arrival)
+		return
+	}
+
+	// Enter keep-alive.
+	c.idle = true
+	c.idleSince = now
+	c.fn.idle = append(c.fn.idle, c)
+	c.recycleEv = e.After(c.p.keepAliveFor(c.fn), func(*simtime.Engine) { c.recycle() })
+	c.pol.Idle(e)
+
+	// An over-committed node reclaims as soon as something becomes
+	// reclaimable; the newly idle container itself may be the victim.
+	c.p.enforceMemoryLimit(now)
+}
+
+// recycle tears the container down at keep-alive expiry.
+func (c *Container) recycle() {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	now := c.p.engine.Now()
+
+	// Remove from the idle stack.
+	for i, ic := range c.fn.idle {
+		if ic == c {
+			c.fn.idle = append(c.fn.idle[:i], c.fn.idle[i+1:]...)
+			break
+		}
+	}
+	local := c.space.LocalBytes()
+	remote := c.space.RemoteBytes()
+	c.cg.Uncharge(now, local)
+	c.cg.DropRemote(now, remote)
+	c.p.pool.Discard(remote)
+	c.p.swap.Release(c.space.CountState(pagemem.Remote))
+
+	c.p.addLive(now, -1)
+	c.p.liveTotal--
+	c.fn.live--
+	c.pol.Recycle(c.p.engine)
+}
+
+// --- policy.View implementation ---
+
+// ID implements policy.View.
+func (c *Container) ID() string { return c.id }
+
+// FunctionID implements policy.View.
+func (c *Container) FunctionID() string { return c.fn.id }
+
+// Profile implements policy.View.
+func (c *Container) Profile() *workload.Profile { return c.fn.profile }
+
+// Space implements policy.View.
+func (c *Container) Space() *pagemem.Space { return c.space }
+
+// LRU implements policy.View.
+func (c *Container) LRU() *mglru.LRU { return c.lru }
+
+// RuntimeRange implements policy.View.
+func (c *Container) RuntimeRange() pagemem.Range { return c.runtimeRange }
+
+// InitRange implements policy.View.
+func (c *Container) InitRange() pagemem.Range { return c.initRange }
+
+// RuntimeGen implements policy.View.
+func (c *Container) RuntimeGen() mglru.GenID { return c.runtimeGen }
+
+// InitGen implements policy.View.
+func (c *Container) InitGen() mglru.GenID { return c.initGen }
+
+// RequestsServed implements policy.View.
+func (c *Container) RequestsServed() int { return c.requests }
+
+// Idle implements policy.View.
+func (c *Container) Idle() bool { return c.idle }
+
+// StallFraction implements policy.View: the container's PSI memory-stall
+// average over the short (~10 s) window — what TMO's feedback loop watches.
+func (c *Container) StallFraction() float64 { return c.psi.Avg10(c.p.engine.Now()) }
+
+// PSI exposes the container's pressure-stall accounting.
+func (c *Container) PSI() *cgroup.PSI { return c.psi }
+
+// OffloadScale implements policy.View: the node's bandwidth-governor factor.
+func (c *Container) OffloadScale() float64 {
+	return c.p.governor.Scale(c.p.engine.Now())
+}
+
+// Cgroup exposes the container's memory accounting (read-only use).
+func (c *Container) Cgroup() *cgroup.Group { return c.cg }
+
+// IdleSince reports when the container last became idle (meaningful only
+// while Idle() is true).
+func (c *Container) IdleSince() simtime.Time { return c.idleSince }
+
+// greedyDualPriority scores an idle container for EvictGreedyDual: higher is
+// more worth keeping. Frequency is the container's served requests, cost is
+// the cold start this node avoids by keeping it warm, size is its local
+// footprint.
+func (c *Container) greedyDualPriority() float64 {
+	cost := (c.fn.profile.LaunchTime + c.fn.profile.InitTime).Seconds()
+	size := float64(c.space.LocalBytes())
+	if size <= 0 {
+		size = 1
+	}
+	return float64(c.requests) * cost / size
+}
+
+// Dead reports whether the container has been recycled.
+func (c *Container) Dead() bool { return c.dead }
+
+// OffloadPages implements policy.View: it moves local pages to the remote
+// pool, clamped to remaining pool capacity, charging the cgroup, node
+// accounting and link bandwidth.
+func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
+	if c.dead || len(ids) == 0 {
+		return 0
+	}
+	now := e.Now()
+	pageBytes := int64(c.space.PageSize())
+	// The link caps how much offload work it accepts per call (covers both
+	// pool capacity and the queued-backlog horizon), and the swap device
+	// must have free slots; truncated pages stay local and later offload
+	// attempts pick them up.
+	max := len(ids)
+	if budget := int(c.p.pool.AcceptableBytes(now) / pageBytes); budget < max {
+		max = budget
+	}
+	max = c.p.swap.Allocate(max)
+	moved := make([]pagemem.PageID, 0, max)
+	for _, id := range ids {
+		if len(moved) >= max {
+			break
+		}
+		st := c.space.State(id)
+		if st != pagemem.Inactive && st != pagemem.Hot {
+			continue
+		}
+		c.space.SetState(id, pagemem.Remote)
+		moved = append(moved, id)
+	}
+	if len(moved) < max {
+		// Return the slots we claimed but did not fill.
+		c.p.swap.Release(max - len(moved))
+	}
+	if len(moved) == 0 {
+		return 0
+	}
+	bytes := int64(len(moved)) * pageBytes
+	if _, err := c.p.pool.OffloadBytes(now, bytes); err != nil {
+		// The capacity clamp above should prevent this; undo defensively.
+		for _, id := range moved {
+			c.space.SetState(id, pagemem.Inactive)
+		}
+		c.p.swap.Release(len(moved))
+		return 0
+	}
+	c.cg.Offload(now, bytes)
+	return len(moved)
+}

@@ -1,0 +1,466 @@
+// Package faas is the serverless platform substrate: a discrete-event
+// simulation of an OpenWhisk-like compute node under the memory-pool
+// architecture. It owns container lifecycles (cold start → init → execution
+// ↔ keep-alive → recycle), per-request page-access replay at page
+// granularity, remote-fault latency accounting, keep-alive expiry, and the
+// node-level memory bookkeeping every experiment reads.
+//
+// The platform is policy-agnostic: a policy.Policy attached at construction
+// receives lifecycle hooks per container and drives offloading through the
+// policy.View interface that *Container implements. The paper's baseline is
+// exactly this platform with the NoOffload policy.
+package faas
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/cgroup"
+	"github.com/faasmem/faasmem/internal/fastswap"
+	"github.com/faasmem/faasmem/internal/metrics"
+	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// Config parameterizes a platform instance.
+type Config struct {
+	// PageSize is the page granularity in bytes. Default 4096.
+	PageSize int
+	// KeepAliveTimeout is how long an idle container survives. The paper's
+	// setup uses 10 minutes (§8.1). Default 10 m.
+	KeepAliveTimeout time.Duration
+	// Pool configures the remote memory pool and its link. Ignored when the
+	// platform is constructed with NewWithPool (rack-shared pool).
+	Pool rmem.Config
+	// Swap configures the node's swap device (slot capacity, readahead).
+	// The artifact's setup uses a 32 GiB swapfile; zero Slots = unlimited.
+	Swap fastswap.Config
+	// AdaptiveKeepAlive replaces the fixed keep-alive timeout with a
+	// per-function adaptive one in the spirit of the hybrid-histogram policy
+	// (Shahrad et al., §10 of the paper): once a function has enough reuse
+	// observations, its containers idle out after the 99th percentile of
+	// observed reuse intervals (with headroom), clamped to
+	// [AdaptiveKeepAliveMin, KeepAliveTimeout]. The paper suggests FaaSMem
+	// composes with such keep-alive policies for further savings.
+	AdaptiveKeepAlive bool
+	// AdaptiveKeepAliveMin floors the adaptive timeout. Default 15 s.
+	AdaptiveKeepAliveMin time.Duration
+	// MaxContainersPerFunction caps how many containers one function may
+	// scale out to. Requests beyond the cap queue FIFO and are picked up as
+	// containers finish — the congestion that inflates tail latency under
+	// surges (Table 1's trace ID-5). Zero means unlimited scale-out.
+	MaxContainersPerFunction int
+	// Eviction selects which idle container the node reclaims first when
+	// NodeMemoryLimit is exceeded. Default EvictLongestIdle.
+	Eviction EvictionPolicy
+	// NodeMemoryLimit caps the node's local DRAM in bytes. When a charge
+	// would exceed it, the platform evicts idle containers (longest-idle
+	// first) until the node fits — the real mechanism behind deployment
+	// density: a node that offloads more keeps more containers warm within
+	// the same DRAM. Zero means unlimited.
+	NodeMemoryLimit int64
+	// RequestLogSize keeps a ring of the most recent N request records for
+	// inspection (gateway, debugging). Zero disables the log.
+	RequestLogSize int
+	// Seed drives all stochastic workload behaviour deterministically.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = pagemem.DefaultPageSize
+	}
+	if c.KeepAliveTimeout <= 0 {
+		c.KeepAliveTimeout = 10 * time.Minute
+	}
+	if c.AdaptiveKeepAliveMin <= 0 {
+		c.AdaptiveKeepAliveMin = 15 * time.Second
+	}
+	return c
+}
+
+// EvictionPolicy selects the victim when the node memory limit forces an
+// idle container out.
+type EvictionPolicy int
+
+const (
+	// EvictLongestIdle reclaims the container idle the longest (LRU).
+	EvictLongestIdle EvictionPolicy = iota
+	// EvictGreedyDual reclaims the container with the lowest
+	// frequency × cold-start-cost / size priority — the greedy-dual caching
+	// view of keep-alive (FaasCache, cited by the paper's §10): cheapness to
+	// rebuild and large footprints push a container toward eviction, high
+	// reuse frequency protects it.
+	EvictGreedyDual
+)
+
+// keepAliveFor returns the keep-alive timeout for one of f's containers
+// entering idle now.
+func (p *Platform) keepAliveFor(f *Function) time.Duration {
+	if !p.cfg.AdaptiveKeepAlive {
+		return p.cfg.KeepAliveTimeout
+	}
+	const minSamples = 16
+	iv := f.stats.ReusedIntervals
+	if len(iv) < minSamples {
+		return p.cfg.KeepAliveTimeout
+	}
+	p99 := trace.ReusedIntervalPercentile(iv, 99)
+	// 2x headroom over the observed tail: reuse intervals are censored by
+	// cold starts (§8.3.2), so the raw percentile underestimates.
+	to := 2 * p99
+	if to < p.cfg.AdaptiveKeepAliveMin {
+		to = p.cfg.AdaptiveKeepAliveMin
+	}
+	if to > p.cfg.KeepAliveTimeout {
+		to = p.cfg.KeepAliveTimeout
+	}
+	return to
+}
+
+// FunctionStats aggregates per-function observations over a run.
+type FunctionStats struct {
+	// Latency samples end-to-end request latency (arrival → completion),
+	// including cold-start time and remote-fault stalls.
+	Latency metrics.Sampler
+	// ExecLatency samples execution-only latency (execution start →
+	// completion), excluding cold-start and queueing time.
+	ExecLatency metrics.Sampler
+	// Requests is the number of completed requests.
+	Requests int
+	// ColdStarts counts requests that launched a new container.
+	ColdStarts int
+	// WarmStarts counts requests served by an idle container with its full
+	// hot set local.
+	WarmStarts int
+	// SemiWarmStarts counts requests served by an idle container that had
+	// offloaded part of its memory (they recall pages on access).
+	SemiWarmStarts int
+	// FaultPages counts remote page faults across all requests.
+	FaultPages int64
+	// RuntimeFaultPages counts faults on runtime-segment pages — the
+	// "recalls from the Runtime Pucket" of Fig. 8.
+	RuntimeFaultPages int64
+	// InitFaultPages counts faults on init-segment pages.
+	InitFaultPages int64
+	// ReusedIntervals collects idle durations at reuse (semi-warm inputs).
+	ReusedIntervals []time.Duration
+}
+
+// Function is a registered function with its container fleet.
+type Function struct {
+	id      string
+	profile *workload.Profile
+	idle    []*Container // LIFO: most recently idled last
+	live    int
+	stats   FunctionStats
+	// queue holds arrival times of requests waiting for a container when
+	// the scale-out cap is reached.
+	queue []simtime.Time
+}
+
+// QueuedRequests returns the number of requests waiting for a container.
+func (f *Function) QueuedRequests() int { return len(f.queue) }
+
+// ID returns the function identifier.
+func (f *Function) ID() string { return f.id }
+
+// Profile returns the function's workload profile.
+func (f *Function) Profile() *workload.Profile { return f.profile }
+
+// Stats exposes the accumulated statistics.
+func (f *Function) Stats() *FunctionStats { return &f.stats }
+
+// LiveContainers returns the number of containers currently alive.
+func (f *Function) LiveContainers() int { return f.live }
+
+// IdleContainer returns the most recently idled container, or nil if none is
+// idle — useful for inspecting memory state in experiments and tests.
+func (f *Function) IdleContainer() *Container {
+	if len(f.idle) == 0 {
+		return nil
+	}
+	return f.idle[len(f.idle)-1]
+}
+
+// Platform is one compute node attached to a remote memory pool.
+type Platform struct {
+	engine *simtime.Engine
+	cfg    Config
+	pool   *rmem.Pool
+	pol    policy.Policy
+	rng    *rand.Rand
+
+	fns     map[string]*Function
+	fnOrder []string
+
+	nodeCG     *cgroup.Group
+	liveTW     *metrics.TimeWeighted
+	governor   *rmem.Governor
+	swap       *fastswap.Device
+	reqLog     RequestLog
+	containers int // ever created
+	liveTotal  int
+	evicted    int
+}
+
+// New creates a platform over engine with the given configuration and
+// offloading policy, with a dedicated memory pool.
+func New(engine *simtime.Engine, cfg Config, pol policy.Policy) *Platform {
+	return NewWithPool(engine, cfg, pol, rmem.NewPool(cfg.Pool))
+}
+
+// NewWithPool creates a platform that offloads to an externally owned pool —
+// the rack-level deployment of §9, where ~10 compute nodes share one memory
+// node.
+func NewWithPool(engine *simtime.Engine, cfg Config, pol policy.Policy, pool *rmem.Pool) *Platform {
+	c := cfg.withDefaults()
+	p := &Platform{
+		engine:   engine,
+		cfg:      c,
+		pool:     pool,
+		pol:      pol,
+		rng:      rand.New(rand.NewSource(c.Seed)),
+		fns:      make(map[string]*Function),
+		nodeCG:   cgroup.New("node", engine.Now()),
+		liveTW:   metrics.NewTimeWeighted(engine.Now(), 0),
+		governor: rmem.NewGovernor(pool, 0.7),
+		swap:     fastswap.NewDevice(c.Swap),
+	}
+	p.reqLog.SetCapacity(c.RequestLogSize)
+	return p
+}
+
+// Engine returns the simulation engine driving the platform.
+func (p *Platform) Engine() *simtime.Engine { return p.engine }
+
+// Pool returns the attached remote memory pool.
+func (p *Platform) Pool() *rmem.Pool { return p.pool }
+
+// Swap returns the node's swap device.
+func (p *Platform) Swap() *fastswap.Device { return p.swap }
+
+// Config returns the effective configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// PolicyName names the active offloading policy.
+func (p *Platform) PolicyName() string { return p.pol.Name() }
+
+// Register adds a function backed by the given profile. Registering the same
+// ID twice panics: it would silently split statistics.
+func (p *Platform) Register(id string, prof *workload.Profile) *Function {
+	if _, dup := p.fns[id]; dup {
+		panic("faas: duplicate function " + id)
+	}
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	f := &Function{id: id, profile: prof}
+	p.fns[id] = f
+	p.fnOrder = append(p.fnOrder, id)
+	return f
+}
+
+// Function returns the registered function with the given ID, or nil.
+func (p *Platform) Function(id string) *Function { return p.fns[id] }
+
+// Functions lists registered functions in registration order.
+func (p *Platform) Functions() []*Function {
+	out := make([]*Function, 0, len(p.fnOrder))
+	for _, id := range p.fnOrder {
+		out = append(out, p.fns[id])
+	}
+	return out
+}
+
+// Invoke fires one request for the function at the current virtual time.
+func (p *Platform) Invoke(fnID string) {
+	f := p.fns[fnID]
+	if f == nil {
+		panic("faas: invoke of unregistered function " + fnID)
+	}
+	p.dispatch(f, p.engine.Now())
+}
+
+// ScheduleInvocations schedules a whole invocation timeline for a function.
+func (p *Platform) ScheduleInvocations(fnID string, times []simtime.Time) {
+	f := p.fns[fnID]
+	if f == nil {
+		panic("faas: schedule for unregistered function " + fnID)
+	}
+	for _, at := range times {
+		at := at
+		p.engine.At(at, func(*simtime.Engine) { p.dispatch(f, at) })
+	}
+}
+
+// ReplayTrace registers every function of tr under the given profile mapping
+// and schedules all invocations. The mapping receives the trace-function
+// index and returns the profile to use (experiments typically round-robin
+// the 11 benchmarks).
+func (p *Platform) ReplayTrace(tr *trace.Trace, pick func(i int, f *trace.Function) *workload.Profile) {
+	for i, tf := range tr.Functions {
+		prof := pick(i, tf)
+		if prof == nil {
+			continue
+		}
+		p.Register(tf.ID, prof)
+		p.ScheduleInvocations(tf.ID, tf.Invocations)
+	}
+}
+
+// dispatch routes one request: reuse the most recently idled container, or
+// cold-start a new one.
+func (p *Platform) dispatch(f *Function, arrival simtime.Time) {
+	now := p.engine.Now()
+	if n := len(f.idle); n > 0 {
+		c := f.idle[n-1]
+		f.idle = f.idle[:n-1]
+		idleFor := now - c.idleSince
+		f.stats.ReusedIntervals = append(f.stats.ReusedIntervals, idleFor)
+		if sw, ok := c.pol.(policy.SemiWarmer); ok && sw.InSemiWarm() {
+			f.stats.SemiWarmStarts++
+			c.curKind = SemiWarmStart
+		} else {
+			f.stats.WarmStarts++
+			c.curKind = WarmStart
+		}
+		c.wake()
+		c.execute(arrival)
+		return
+	}
+	if p.cfg.MaxContainersPerFunction > 0 && f.live >= p.cfg.MaxContainersPerFunction {
+		// At the scale-out cap with every container busy: queue FIFO.
+		f.queue = append(f.queue, arrival)
+		return
+	}
+	f.stats.ColdStarts++
+	c := p.launch(f)
+	c.curKind = ColdStart
+	// Cold start: the runtime loads, then the function initializes, then the
+	// pending request executes.
+	p.engine.After(f.profile.LaunchTime, func(e *simtime.Engine) {
+		c.runtimeLoaded(e.Now())
+		e.After(f.profile.InitTime, func(e *simtime.Engine) {
+			c.initDone(e.Now())
+			c.execute(arrival)
+		})
+	})
+}
+
+// NodeCgroup returns the node-level memory control group; container groups
+// are its children, so it aggregates the whole node.
+func (p *Platform) NodeCgroup() *cgroup.Group { return p.nodeCG }
+
+// NodeLocalBytes returns the node's current local memory consumption across
+// all containers.
+func (p *Platform) NodeLocalBytes() int64 { return p.nodeCG.LocalBytes() }
+
+// NodeLocalAvg returns the time-weighted average node-local memory in bytes.
+func (p *Platform) NodeLocalAvg() float64 { return p.nodeCG.AvgLocalBytes(p.engine.Now()) }
+
+// NodeLocalPeak returns the peak node-local memory in bytes.
+func (p *Platform) NodeLocalPeak() int64 { return p.nodeCG.PeakLocalBytes() }
+
+// NodeRemoteBytes returns current remote residency across all containers.
+func (p *Platform) NodeRemoteBytes() int64 { return p.nodeCG.RemoteBytes() }
+
+// NodeRemoteAvg returns the time-weighted average remote residency in bytes.
+func (p *Platform) NodeRemoteAvg() float64 { return p.nodeCG.AvgRemoteBytes(p.engine.Now()) }
+
+// LiveContainers returns the number of containers currently alive on the
+// node.
+func (p *Platform) LiveContainers() int { return p.liveTotal }
+
+// LiveContainersAvg returns the time-weighted average number of live
+// containers — the denominator of the per-container density accounting
+// (§8.6).
+func (p *Platform) LiveContainersAvg() float64 { return p.liveTW.Average(p.engine.Now()) }
+
+// ContainersCreated returns how many containers were ever launched.
+func (p *Platform) ContainersCreated() int { return p.containers }
+
+// RequestLog exposes the platform's recent-request ring (enabled via
+// Config.RequestLogSize).
+func (p *Platform) RequestLog() *RequestLog { return &p.reqLog }
+
+// EvictedContainers counts idle containers force-recycled to keep the node
+// within its memory limit.
+func (p *Platform) EvictedContainers() int { return p.evicted }
+
+// enforceMemoryLimit evicts longest-idle containers until the node fits its
+// DRAM limit. Busy containers are never evicted; if everything is busy the
+// node runs over-committed, as a real node would swap or OOM-throttle.
+func (p *Platform) enforceMemoryLimit(now simtime.Time) {
+	limit := p.cfg.NodeMemoryLimit
+	if limit <= 0 {
+		return
+	}
+	for p.NodeLocalBytes() > limit {
+		var victim *Container
+		var victimScore float64
+		for _, f := range p.Functions() {
+			for _, c := range f.idle {
+				switch p.cfg.Eviction {
+				case EvictGreedyDual:
+					score := c.greedyDualPriority()
+					if victim == nil || score < victimScore {
+						victim, victimScore = c, score
+					}
+				default:
+					if victim == nil || c.idleSince < victim.idleSince {
+						victim = c
+					}
+				}
+			}
+		}
+		if victim == nil {
+			return // nothing idle to reclaim
+		}
+		p.evicted++
+		victim.recycle()
+	}
+}
+
+func (p *Platform) addLive(now simtime.Time, delta int) {
+	p.liveTW.Add(now, float64(delta))
+}
+
+// AggregateStats sums request statistics across every function on the node.
+type AggregateStats struct {
+	// Requests, ColdStarts, WarmStarts, SemiWarmStarts count request paths.
+	Requests, ColdStarts, WarmStarts, SemiWarmStarts int
+	// FaultPages counts remote page faults.
+	FaultPages int64
+	// WorstP95 is the highest per-function P95 latency in seconds.
+	WorstP95 float64
+}
+
+// ColdStartRatio is the fraction of requests that cold-started.
+func (a AggregateStats) ColdStartRatio() float64 {
+	if a.Requests == 0 {
+		return 0
+	}
+	return float64(a.ColdStarts) / float64(a.Requests)
+}
+
+// Aggregate sums per-function statistics across the node.
+func (p *Platform) Aggregate() AggregateStats {
+	var a AggregateStats
+	for _, f := range p.Functions() {
+		st := f.Stats()
+		a.Requests += st.Requests
+		a.ColdStarts += st.ColdStarts
+		a.WarmStarts += st.WarmStarts
+		a.SemiWarmStarts += st.SemiWarmStarts
+		a.FaultPages += st.FaultPages
+		if p95 := st.Latency.P95(); p95 > a.WorstP95 {
+			a.WorstP95 = p95
+		}
+	}
+	return a
+}

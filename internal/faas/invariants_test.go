@@ -1,0 +1,205 @@
+package faas
+
+// Invariant tests: whatever the policy does, the platform's three ledgers —
+// per-container cgroups, node-level time-weighted totals, and the remote
+// pool — must agree at every quiescent point. A policy that corrupted any of
+// them would silently invalidate every figure, so these checks run random
+// workloads under every policy and reconcile the books.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// reconcile asserts that node totals equal the sums over live containers and
+// that the pool holds exactly the remote bytes.
+func reconcile(t *testing.T, p *Platform, label string) {
+	t.Helper()
+	var local, remote int64
+	live := 0
+	for _, f := range p.Functions() {
+		for _, c := range f.idle {
+			local += c.space.LocalBytes()
+			remote += c.space.RemoteBytes()
+			live++
+		}
+	}
+	// Only idle containers are inspectable here; during quiescence every
+	// live container is idle.
+	if live != p.LiveContainers() {
+		t.Fatalf("%s: %d idle containers but %d live (quiescence assumption broken)",
+			label, live, p.LiveContainers())
+	}
+	if got := p.NodeLocalBytes(); got != local {
+		t.Errorf("%s: node local %d != sum of containers %d", label, got, local)
+	}
+	if got := p.NodeRemoteBytes(); got != remote {
+		t.Errorf("%s: node remote %d != sum of containers %d", label, got, remote)
+	}
+	if got := p.Pool().Used(); got != remote {
+		t.Errorf("%s: pool used %d != container remote %d", label, got, remote)
+	}
+}
+
+func randomProfile(rng *rand.Rand) *workload.Profile {
+	patterns := []workload.PatternKind{workload.FixedHot, workload.FullScan, workload.ParetoObjects}
+	p := &workload.Profile{
+		Name:            "rnd",
+		Language:        workload.Python,
+		CPUShare:        0.1,
+		RuntimeBytes:    int64(1+rng.Intn(8)) * workload.MB,
+		RuntimeHotBytes: int64(rng.Intn(2)) * workload.MB,
+		InitBytes:       int64(rng.Intn(8)) * workload.MB,
+		Pattern:         patterns[rng.Intn(len(patterns))],
+		ExecBytes:       int64(rng.Intn(3)) * workload.MB,
+		ExecTime:        time.Duration(10+rng.Intn(200)) * time.Millisecond,
+		InitTime:        time.Duration(50+rng.Intn(500)) * time.Millisecond,
+		LaunchTime:      time.Duration(50+rng.Intn(500)) * time.Millisecond,
+		QuotaBytes:      64 * workload.MB,
+	}
+	p.InitHotBytes = p.InitBytes / int64(1+rng.Intn(3))
+	if p.Pattern == workload.ParetoObjects {
+		p.Objects = 1 + rng.Intn(20)
+		p.ObjectsPerRequest = 1 + rng.Intn(4)
+	}
+	if p.Pattern == workload.FixedHot && p.InitBytes > p.InitHotBytes {
+		p.JitterBytes = int64(rng.Intn(2)) * workload.MB
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestAccountingInvariantsAcrossPolicies(t *testing.T) {
+	policies := map[string]func() policy.Policy{
+		"baseline": func() policy.Policy { return policy.NoOffload{} },
+		"tmo":      func() policy.Policy { return policy.NewTMO(policy.TMOConfig{}) },
+		"damon":    func() policy.Policy { return policy.NewDAMON(policy.DAMONConfig{}) },
+		"faasmem": func() policy.Policy {
+			return core.New(core.Config{FallbackSemiWarmDelay: 20 * time.Second})
+		},
+		"faasmem-coldstart-aware": func() policy.Policy {
+			return core.New(core.Config{FallbackSemiWarmDelay: 20 * time.Second, ColdStartAwareTiming: true})
+		},
+	}
+	for name, mk := range policies {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				e := simtime.NewEngine()
+				p := New(e, Config{KeepAliveTimeout: 90 * time.Second, Seed: seed}, mk())
+				nFns := 1 + rng.Intn(4)
+				for i := 0; i < nFns; i++ {
+					prof := randomProfile(rng)
+					prof.Name = prof.Name + string(rune('a'+i))
+					fn := trace.GenerateFunction(prof.Name, 5*time.Minute,
+						time.Duration(5+rng.Intn(40))*time.Second, rng.Intn(2) == 0, seed*17+int64(i))
+					if len(fn.Invocations) == 0 {
+						continue
+					}
+					p.Register(prof.Name, prof)
+					p.ScheduleInvocations(prof.Name, fn.Invocations)
+				}
+				// Reconcile at a mid-run quiescent-ish point and at the end.
+				e.RunUntil(7 * time.Minute)
+				if busy := anyBusy(p); !busy {
+					reconcile(t, p, name+"/mid")
+				}
+				e.Run()
+				reconcile(t, p, name+"/end")
+				// After full drain every container expired.
+				if p.LiveContainers() != 0 {
+					t.Fatalf("%s: %d containers alive after drain", name, p.LiveContainers())
+				}
+				if p.NodeLocalBytes() != 0 || p.NodeRemoteBytes() != 0 || p.Pool().Used() != 0 {
+					t.Fatalf("%s: residual memory after drain: local=%d remote=%d pool=%d",
+						name, p.NodeLocalBytes(), p.NodeRemoteBytes(), p.Pool().Used())
+				}
+			}
+		})
+	}
+}
+
+// anyBusy reports whether some container is executing (not idle).
+func anyBusy(p *Platform) bool {
+	for _, f := range p.Functions() {
+		idle := len(f.idle)
+		if f.live != idle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLatencyNeverBelowExecTime(t *testing.T) {
+	// Whatever faults occur, a request can never complete faster than its
+	// base execution time.
+	e := simtime.NewEngine()
+	p := New(e, Config{KeepAliveTimeout: time.Minute, Seed: 9},
+		core.New(core.Config{FallbackSemiWarmDelay: 5 * time.Second}))
+	prof := tinyProfile()
+	f := p.Register("t", prof)
+	fn := trace.GenerateFunction("t", 5*time.Minute, 15*time.Second, true, 5)
+	p.ScheduleInvocations("t", fn.Invocations)
+	e.Run()
+	if f.Stats().Requests == 0 {
+		t.Skip("no requests generated")
+	}
+	if min := f.Stats().Latency.Min(); min < prof.ExecTime.Seconds() {
+		t.Fatalf("min latency %.4fs below exec time %.4fs", min, prof.ExecTime.Seconds())
+	}
+}
+
+func TestStartKindAccountingInvariant(t *testing.T) {
+	// cold + warm + semi-warm always equals completed requests, whatever the
+	// policy and workload shape.
+	for seed := int64(10); seed < 13; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := simtime.NewEngine()
+		p := New(e, Config{KeepAliveTimeout: time.Minute, Seed: seed},
+			core.New(core.Config{FallbackSemiWarmDelay: 10 * time.Second}))
+		prof := randomProfile(rng)
+		prof.Name = "inv"
+		fn := trace.GenerateFunction("inv", 4*time.Minute, 8*time.Second, true, seed)
+		if len(fn.Invocations) == 0 {
+			continue
+		}
+		f := p.Register("inv", prof)
+		p.ScheduleInvocations("inv", fn.Invocations)
+		e.Run()
+		st := f.Stats()
+		if got := st.ColdStarts + st.WarmStarts + st.SemiWarmStarts; got != st.Requests {
+			t.Fatalf("seed %d: start kinds %d != requests %d", seed, got, st.Requests)
+		}
+		if st.Latency.Count() != st.Requests {
+			t.Fatalf("seed %d: latency samples %d != requests %d", seed, st.Latency.Count(), st.Requests)
+		}
+	}
+}
+
+func TestFaultsNeverExceedOffloadedPages(t *testing.T) {
+	// A page can only fault back after having been offloaded, so cumulative
+	// recall traffic is bounded by cumulative offload traffic.
+	e := simtime.NewEngine()
+	p := New(e, Config{KeepAliveTimeout: time.Minute, Seed: 3},
+		core.New(core.Config{FallbackSemiWarmDelay: 5 * time.Second}))
+	p.Register("t", tinyProfile())
+	fn := trace.GenerateFunction("t", 5*time.Minute, 10*time.Second, true, 3)
+	p.ScheduleInvocations("t", fn.Invocations)
+	e.Run()
+	out := p.Pool().Meter(rmem.Offload).Total()
+	in := p.Pool().Meter(rmem.Recall).Total()
+	if in > out {
+		t.Fatalf("recalled %d bytes > offloaded %d bytes", in, out)
+	}
+}

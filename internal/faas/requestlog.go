@@ -1,0 +1,113 @@
+package faas
+
+import (
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// StartKind labels how a request found its container.
+type StartKind int
+
+const (
+	// ColdStart launched a fresh container (runtime + init on the critical
+	// path).
+	ColdStart StartKind = iota
+	// WarmStart reused an idle container with its hot set local.
+	WarmStart
+	// SemiWarmStart reused a container that was in its semi-warm period
+	// (some hot pages remote, recalled on access).
+	SemiWarmStart
+	// QueuedStart waited for a busy container under a scale-out cap.
+	QueuedStart
+)
+
+// String implements fmt.Stringer.
+func (k StartKind) String() string {
+	switch k {
+	case ColdStart:
+		return "cold"
+	case WarmStart:
+		return "warm"
+	case SemiWarmStart:
+		return "semi-warm"
+	case QueuedStart:
+		return "queued"
+	default:
+		return "unknown"
+	}
+}
+
+// RequestRecord traces one request end to end.
+type RequestRecord struct {
+	// Function and Container identify where the request ran.
+	Function  string `json:"function"`
+	Container string `json:"container"`
+	// Kind is the start path.
+	Kind StartKind `json:"kind"`
+	// Arrival and Start are virtual times; Start excludes cold-start work.
+	Arrival simtime.Time `json:"arrival"`
+	Start   simtime.Time `json:"start"`
+	// Latency is end-to-end (arrival → completion); ExecLatency is
+	// start → completion.
+	Latency     time.Duration `json:"latency"`
+	ExecLatency time.Duration `json:"exec_latency"`
+	// FaultPages counts remote pages demand-faulted during execution.
+	FaultPages int `json:"fault_pages"`
+	// StallTime is the latency share spent waiting on remote memory.
+	StallTime time.Duration `json:"stall_time"`
+}
+
+// RequestLog is a bounded ring of recent request records. The zero value is
+// disabled; enable with SetCapacity or the platform's Config.RequestLogSize.
+type RequestLog struct {
+	buf  []RequestRecord
+	next int
+	full bool
+}
+
+// SetCapacity sizes the ring (dropping existing records). Zero disables.
+func (l *RequestLog) SetCapacity(n int) {
+	if n <= 0 {
+		l.buf = nil
+	} else {
+		l.buf = make([]RequestRecord, n)
+	}
+	l.next = 0
+	l.full = false
+}
+
+// Enabled reports whether records are being kept.
+func (l *RequestLog) Enabled() bool { return len(l.buf) > 0 }
+
+// Add appends a record, evicting the oldest when full.
+func (l *RequestLog) Add(r RequestRecord) {
+	if len(l.buf) == 0 {
+		return
+	}
+	l.buf[l.next] = r
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Len returns the number of stored records.
+func (l *RequestLog) Len() int {
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Records returns stored records oldest-first.
+func (l *RequestLog) Records() []RequestRecord {
+	n := l.Len()
+	out := make([]RequestRecord, 0, n)
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}

@@ -1,0 +1,94 @@
+// Package fastswap models the swap-path bookkeeping of the paper's ported
+// Fastswap: offloaded pages occupy slots in a fixed-size swapfile (the
+// artifact provisions 32 GB), and demand faults may read ahead neighbouring
+// slots the way the kernel's swap readahead (vm.page-cluster) does.
+//
+// The remote pool (rmem) models the wire; this package models the kernel
+// side: a finite slot space that can fill up independently of pool capacity,
+// and the virtually-contiguous prefetch window that turns one fault into a
+// cluster read. Readahead is the hook for the §10 "prefetching remote
+// memory" (Leap) extension.
+package fastswap
+
+import (
+	"fmt"
+)
+
+// Config sizes a node's swap device.
+type Config struct {
+	// Slots is the swapfile capacity in pages. The artifact's setup uses a
+	// 32 GiB swapfile = 8 Mi 4 KiB slots. Zero means unlimited.
+	Slots int
+	// ReadaheadPages is how many virtually-contiguous remote neighbours one
+	// fault pulls in alongside the faulting page (vm.page-cluster=3 reads
+	// 8 pages). Zero disables readahead.
+	ReadaheadPages int
+}
+
+// Device is one node's swap device. The zero value is not usable; construct
+// with NewDevice.
+type Device struct {
+	cfg  Config
+	used int
+}
+
+// NewDevice creates a swap device.
+func NewDevice(cfg Config) *Device {
+	if cfg.Slots < 0 {
+		panic(fmt.Sprintf("fastswap: negative slot count %d", cfg.Slots))
+	}
+	if cfg.ReadaheadPages < 0 {
+		cfg.ReadaheadPages = 0
+	}
+	return &Device{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Used returns occupied slots.
+func (d *Device) Used() int { return d.used }
+
+// Free returns remaining slots; -1 means unlimited.
+func (d *Device) Free() int {
+	if d.cfg.Slots == 0 {
+		return -1
+	}
+	return d.cfg.Slots - d.used
+}
+
+// Allocate claims up to n slots and returns how many were granted. Swap-out
+// beyond the grant must stay in local memory, exactly as a full swapfile
+// fails page-out in the kernel.
+func (d *Device) Allocate(n int) int {
+	if n < 0 {
+		panic("fastswap: negative allocation")
+	}
+	if d.cfg.Slots == 0 {
+		d.used += n
+		return n
+	}
+	free := d.cfg.Slots - d.used
+	if n > free {
+		n = free
+	}
+	if n < 0 {
+		n = 0
+	}
+	d.used += n
+	return n
+}
+
+// Release returns n slots to the freelist (swap-in or container teardown).
+func (d *Device) Release(n int) {
+	if n < 0 {
+		panic("fastswap: negative release")
+	}
+	d.used -= n
+	if d.used < 0 {
+		d.used = 0
+	}
+}
+
+// Readahead reports the prefetch window for one fault (0 = disabled).
+func (d *Device) Readahead() int { return d.cfg.ReadaheadPages }

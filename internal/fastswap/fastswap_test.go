@@ -1,0 +1,74 @@
+package fastswap
+
+import "testing"
+
+func TestAllocateWithinCapacity(t *testing.T) {
+	d := NewDevice(Config{Slots: 10})
+	if got := d.Allocate(4); got != 4 {
+		t.Fatalf("Allocate(4) = %d", got)
+	}
+	if d.Used() != 4 || d.Free() != 6 {
+		t.Fatalf("used/free = %d/%d", d.Used(), d.Free())
+	}
+}
+
+func TestAllocateTruncatesAtCapacity(t *testing.T) {
+	d := NewDevice(Config{Slots: 10})
+	d.Allocate(8)
+	if got := d.Allocate(5); got != 2 {
+		t.Fatalf("over-allocation granted %d, want 2", got)
+	}
+	if got := d.Allocate(1); got != 0 {
+		t.Fatalf("full device granted %d", got)
+	}
+}
+
+func TestReleaseReturnsSlots(t *testing.T) {
+	d := NewDevice(Config{Slots: 10})
+	d.Allocate(10)
+	d.Release(4)
+	if d.Free() != 4 {
+		t.Fatalf("free after release = %d", d.Free())
+	}
+	// Over-release clamps rather than going negative.
+	d.Release(100)
+	if d.Used() != 0 {
+		t.Fatalf("used after over-release = %d", d.Used())
+	}
+}
+
+func TestUnlimitedDevice(t *testing.T) {
+	d := NewDevice(Config{})
+	if got := d.Allocate(1 << 20); got != 1<<20 {
+		t.Fatalf("unlimited allocate = %d", got)
+	}
+	if d.Free() != -1 {
+		t.Fatalf("unlimited free = %d, want -1 sentinel", d.Free())
+	}
+}
+
+func TestReadaheadConfig(t *testing.T) {
+	if NewDevice(Config{ReadaheadPages: 8}).Readahead() != 8 {
+		t.Error("readahead not configured")
+	}
+	if NewDevice(Config{ReadaheadPages: -1}).Readahead() != 0 {
+		t.Error("negative readahead should clamp to 0")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"slots":    func() { NewDevice(Config{Slots: -1}) },
+		"allocate": func() { NewDevice(Config{}).Allocate(-1) },
+		"release":  func() { NewDevice(Config{}).Release(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative value did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

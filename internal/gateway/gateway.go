@@ -1,0 +1,217 @@
+// Package gateway exposes the simulator over HTTP, mirroring the role of
+// the paper artifact's gateway/test_server pair: a long-running service that
+// accepts scenario requests, replays them on the discrete-event platform,
+// and returns the outcome as JSON for scripted evaluation workflows.
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness probe
+//	GET  /benchmarks          the 11 benchmark profiles
+//	GET  /policies            available offloading policies
+//	POST /run                 run one scenario (JSON body, JSON outcome)
+//	POST /replay              replay a multi-function trace (tracegen JSON)
+//	POST /experiments/{name}  regenerate one figure/table (quick variants)
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// RunRequest is the POST /run body.
+type RunRequest struct {
+	// Bench names one of the 11 benchmarks.
+	Bench string `json:"bench"`
+	// Policy is one of baseline, tmo, damon, faasmem,
+	// faasmem-w/o-pucket, faasmem-w/o-semiwarm.
+	Policy string `json:"policy"`
+	// DurationSec is the trace window in seconds. Default 600.
+	DurationSec float64 `json:"duration_sec"`
+	// MeanGapSec is the mean request inter-arrival gap. Default 15.
+	MeanGapSec float64 `json:"mean_gap_sec"`
+	// Bursty selects Markov-modulated arrivals.
+	Bursty bool `json:"bursty"`
+	// KeepAliveSec is the keep-alive timeout. Default 600.
+	KeepAliveSec float64 `json:"keep_alive_sec"`
+	// Seed drives all randomness. Default 1.
+	Seed int64 `json:"seed"`
+}
+
+func (r *RunRequest) normalize() error {
+	if r.Bench == "" {
+		r.Bench = "web"
+	}
+	if workload.ByName(r.Bench) == nil {
+		return fmt.Errorf("unknown benchmark %q (options: %s)", r.Bench, strings.Join(workload.Names(), ", "))
+	}
+	if r.Policy == "" {
+		r.Policy = string(experiments.FaaSMem)
+	}
+	if !experiments.ValidPolicy(experiments.PolicyKind(r.Policy)) {
+		return fmt.Errorf("unknown policy %q", r.Policy)
+	}
+	if r.DurationSec <= 0 {
+		r.DurationSec = 600
+	}
+	if r.DurationSec > 24*3600 {
+		return fmt.Errorf("duration %gs too long (max 24h)", r.DurationSec)
+	}
+	if r.MeanGapSec <= 0 {
+		r.MeanGapSec = 15
+	}
+	if r.KeepAliveSec <= 0 {
+		r.KeepAliveSec = 600
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return nil
+}
+
+// RunResponse is the POST /run result.
+type RunResponse struct {
+	Bench    string              `json:"bench"`
+	Policy   string              `json:"policy"`
+	Requests int                 `json:"requests"`
+	Outcome  experiments.Outcome `json:"outcome"`
+}
+
+// Handler builds the gateway's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /benchmarks", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, workload.Profiles())
+	})
+	mux.HandleFunc("GET /policies", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, experiments.PolicyKinds())
+	})
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, experimentNames)
+	})
+	mux.HandleFunc("POST /run", handleRun)
+	mux.HandleFunc("POST /replay", handleReplay)
+	mux.HandleFunc("POST /experiments/{name}", handleExperiment)
+	return mux
+}
+
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := req.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	duration := time.Duration(req.DurationSec * float64(time.Second))
+	fn := trace.GenerateFunction(req.Bench, duration,
+		time.Duration(req.MeanGapSec*float64(time.Second)), req.Bursty, req.Seed)
+	out := experiments.RunScenario(experiments.Scenario{
+		Profile:     workload.ByName(req.Bench),
+		Invocations: fn.Invocations,
+		Duration:    duration,
+		KeepAlive:   time.Duration(req.KeepAliveSec * float64(time.Second)),
+		Policy:      experiments.PolicyKind(req.Policy),
+		SeedHistory: true,
+		Seed:        req.Seed,
+	})
+	writeJSON(w, http.StatusOK, RunResponse{
+		Bench:    req.Bench,
+		Policy:   req.Policy,
+		Requests: out.Requests,
+		Outcome:  out,
+	})
+}
+
+// experimentNames lists the regenerable experiments, in the paper's order.
+var experimentNames = []string{
+	"fig1", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
+	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
+	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
+	"ext-percentile", "ext-rack",
+}
+
+// handleExperiment regenerates one figure/table at quick scale and returns
+// its rows as JSON.
+func handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := strings.ToLower(r.PathValue("name"))
+	var seed int64 = 1
+	if s := r.URL.Query().Get("seed"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", s))
+			return
+		}
+	}
+	var rows any
+	switch name {
+	case "fig1":
+		rows = experiments.Fig1(experiments.Fig1Options{Seed: seed})
+	case "fig2":
+		rows = experiments.Fig2(experiments.Fig2Options{Duration: 15 * time.Minute, Seed: seed})
+	case "fig4":
+		rows = experiments.Fig4()
+	case "fig5":
+		rows = experiments.Fig5(experiments.Fig5Options{Seed: seed})
+	case "fig6":
+		rows = experiments.Fig6(experiments.Fig6Options{Seed: seed})
+	case "fig8":
+		rows = experiments.Fig8(experiments.Fig8Options{Seed: seed})
+	case "fig9":
+		rows = experiments.Fig9(25, seed)
+	case "fig12":
+		rows = experiments.Fig12(experiments.Fig12Options{
+			Duration: 10 * time.Minute,
+			Benches:  []string{"bert", "graph", "web", "json"},
+			Seed:     seed,
+		})
+	case "table1":
+		rows = experiments.Table1(experiments.Table1Options{Duration: 8 * time.Minute, Seed: seed})
+	case "fig13":
+		rows = experiments.Fig13(experiments.Fig13Options{Duration: 10 * time.Minute, Seed: seed})
+	case "fig14":
+		rows = experiments.Fig14(experiments.Fig14Options{NumFunctions: 80, Duration: 2 * time.Hour, Seed: seed})
+	case "fig15":
+		rows = experiments.Fig15()
+	case "fig16":
+		rows = experiments.Fig16(experiments.Fig16Options{Traces: 6, Duration: 10 * time.Minute, Seed: seed})
+	case "ext-pools":
+		rows = experiments.PoolComparison(experiments.PoolComparisonOptions{Duration: 8 * time.Minute, Seed: seed})
+	case "ext-coldstart":
+		rows = experiments.ColdStartTiming(experiments.ColdStartTimingOptions{Duration: 8 * time.Minute, Seed: seed})
+	case "ext-readahead":
+		rows = experiments.Readahead(experiments.ReadaheadOptions{Duration: 8 * time.Minute, Seed: seed})
+	case "ext-keepalive":
+		rows = experiments.KeepAliveStrategies(experiments.KeepAliveStrategiesOptions{Duration: 10 * time.Minute, Seed: seed})
+	case "ext-percentile":
+		rows = experiments.PercentileSweep(experiments.PercentileSweepOptions{Duration: 8 * time.Minute, Seed: seed})
+	case "ext-rack":
+		rows = experiments.RackDensity(experiments.RackDensityOptions{Duration: 8 * time.Minute, Seed: seed})
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiment": name, "seed": seed, "rows": rows})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,223 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func do(t *testing.T, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body == "" {
+		rd = bytes.NewReader(nil)
+	} else {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	rec := do(t, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+}
+
+func TestBenchmarksLists11(t *testing.T) {
+	rec := do(t, http.MethodGet, "/benchmarks", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var profiles []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &profiles); err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 11 {
+		t.Fatalf("profiles = %d, want 11", len(profiles))
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	rec := do(t, http.MethodGet, "/policies", "")
+	var kinds []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &kinds); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 6 {
+		t.Fatalf("policies = %v", kinds)
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	rec := do(t, http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":120,"mean_gap_sec":10,"seed":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bench != "json" || resp.Policy != "faasmem" {
+		t.Fatalf("echo = %+v", resp)
+	}
+	if resp.Requests == 0 {
+		t.Fatal("no requests executed")
+	}
+	if resp.Outcome.AvgLocalMB <= 0 {
+		t.Fatal("outcome missing memory stats")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	rec := do(t, http.MethodPost, "/run", `{}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bench != "web" || resp.Policy != "faasmem" {
+		t.Fatalf("defaults = %+v", resp)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []string{
+		`{"bench":"nope"}`,
+		`{"policy":"nope"}`,
+		`{"duration_sec":999999999}`,
+		`not json`,
+	}
+	for i, body := range cases {
+		rec := do(t, http.MethodPost, "/run", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, rec.Code)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	body := `{"bench":"json","policy":"faasmem","duration_sec":120,"seed":9}`
+	a := do(t, http.MethodPost, "/run", body).Body.String()
+	b := do(t, http.MethodPost, "/run", body).Body.String()
+	if a != b {
+		t.Fatal("identical requests returned different outcomes")
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	rec := do(t, http.MethodPost, "/experiments/fig4", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Experiment string           `json:"experiment"`
+		Rows       []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Experiment != "fig4" || len(resp.Rows) != 6 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestExperimentSeedParam(t *testing.T) {
+	rec := do(t, http.MethodPost, "/experiments/fig9?seed=7", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	bad := do(t, http.MethodPost, "/experiments/fig9?seed=zz", "")
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("bad seed status = %d", bad.Code)
+	}
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	rec := do(t, http.MethodPost, "/experiments/fig99", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestReplayEndpoint(t *testing.T) {
+	body := `{
+		"trace": {"duration": 60000000000, "functions": [
+			{"id": "a", "invocations": [0, 30000000000]},
+			{"id": "b", "invocations": [1000000000]}
+		]},
+		"profile": "json",
+		"policy": "faasmem",
+		"seed": 5
+	}`
+	rec := do(t, http.MethodPost, "/replay", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ReplayResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Functions != 2 || resp.Requests != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.AvgLocalMB <= 0 {
+		t.Fatal("missing memory stats")
+	}
+	if len(resp.Recent) != 3 {
+		t.Fatalf("recent records = %d, want 3", len(resp.Recent))
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	cases := []string{
+		`{}`, // missing trace
+		`{"trace": {"duration": -1}}`,
+		`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}, "policy": "nope"}`,
+		`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}, "profile": "nope"}`,
+		`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0,1,2]}]}, "max_invocations": 2}`,
+	}
+	for i, body := range cases {
+		rec := do(t, http.MethodPost, "/replay", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, rec.Code)
+		}
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	rec := do(t, http.MethodGet, "/experiments", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var names []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(names))
+	}
+	// Every advertised name must actually dispatch.
+	for _, n := range names {
+		if n == "fig14" || n == "fig12" || n == "table1" || n == "fig13" ||
+			strings.HasPrefix(n, "ext-") || n == "fig16" || n == "fig2" {
+			continue // too slow for this smoke loop; covered elsewhere
+		}
+		r := do(t, http.MethodPost, "/experiments/"+n, "")
+		if r.Code != http.StatusOK {
+			t.Errorf("experiment %q: status %d", n, r.Code)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// ReplayRequest is the POST /replay body: a multi-function trace replayed on
+// one node. The trace uses the same JSON schema as cmd/tracegen's output
+// (and trace.ReadAzureCSV conversions).
+type ReplayRequest struct {
+	// Trace is the invocation trace to replay.
+	Trace *trace.Trace `json:"trace"`
+	// Profile maps every trace function onto one benchmark ("mix"
+	// round-robins the 11). Default "mix".
+	Profile string `json:"profile"`
+	// Policy is the offloading policy. Default "faasmem".
+	Policy string `json:"policy"`
+	// KeepAliveSec defaults to 600.
+	KeepAliveSec float64 `json:"keep_alive_sec"`
+	// Seed drives workload randomness. Default 1.
+	Seed int64 `json:"seed"`
+	// MaxInvocations caps the replay size to keep the service responsive.
+	// Default (and ceiling) 200000.
+	MaxInvocations int `json:"max_invocations"`
+}
+
+// ReplayResponse summarizes a replay.
+type ReplayResponse struct {
+	Functions      int     `json:"functions"`
+	Requests       int     `json:"requests"`
+	ColdStarts     int     `json:"cold_starts"`
+	WarmStarts     int     `json:"warm_starts"`
+	SemiWarmStarts int     `json:"semi_warm_starts"`
+	AvgLocalMB     float64 `json:"avg_local_mb"`
+	PeakLocalMB    float64 `json:"peak_local_mb"`
+	OffloadedMB    float64 `json:"offloaded_mb"`
+	OffloadBWMBps  float64 `json:"offload_bw_mbps"`
+	WorstP95Sec    float64 `json:"worst_p95_sec"`
+	// Recent lists the tail of the request log for inspection.
+	Recent []faas.RequestRecord `json:"recent"`
+}
+
+func handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Trace == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing trace"))
+		return
+	}
+	if err := req.Trace.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	const ceiling = 200000
+	if req.MaxInvocations <= 0 || req.MaxInvocations > ceiling {
+		req.MaxInvocations = ceiling
+	}
+	if req.Trace.TotalInvocations() > req.MaxInvocations {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("trace has %d invocations, limit %d", req.Trace.TotalInvocations(), req.MaxInvocations))
+		return
+	}
+	if req.KeepAliveSec <= 0 {
+		req.KeepAliveSec = 600
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Policy == "" {
+		req.Policy = "faasmem"
+	}
+	if req.Profile == "" {
+		req.Profile = "mix"
+	}
+
+	kind := experiments.PolicyKind(req.Policy)
+	if !experiments.ValidPolicy(kind) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", req.Policy))
+		return
+	}
+	pol, _ := experiments.BuildPolicy(kind, core.Config{})
+
+	profiles := workload.Profiles()
+	pick := func(i int, _ *trace.Function) *workload.Profile {
+		var base *workload.Profile
+		if req.Profile == "mix" {
+			base = profiles[i%len(profiles)]
+		} else {
+			base = workload.ByName(req.Profile)
+		}
+		return base
+	}
+	if req.Profile != "mix" && workload.ByName(req.Profile) == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+		return
+	}
+
+	engine := simtime.NewEngine()
+	p := faas.New(engine, faas.Config{
+		KeepAliveTimeout: time.Duration(req.KeepAliveSec * float64(time.Second)),
+		Pool:             rmem.Config{},
+		RequestLogSize:   64,
+		Seed:             req.Seed,
+	}, pol)
+	p.ReplayTrace(req.Trace, func(i int, f *trace.Function) *workload.Profile {
+		base := *pick(i, f)
+		base.Name = f.ID
+		return &base
+	})
+	engine.RunUntil(req.Trace.Duration + time.Duration(req.KeepAliveSec*float64(time.Second)))
+
+	resp := ReplayResponse{
+		Functions:     len(p.Functions()),
+		AvgLocalMB:    p.NodeLocalAvg() / 1e6,
+		PeakLocalMB:   float64(p.NodeLocalPeak()) / 1e6,
+		OffloadedMB:   float64(p.Pool().Meter(rmem.Offload).Total()) / 1e6,
+		OffloadBWMBps: p.Pool().Meter(rmem.Offload).Average(engine.Now()) / 1e6,
+		Recent:        p.RequestLog().Records(),
+	}
+	agg := p.Aggregate()
+	resp.Requests = agg.Requests
+	resp.ColdStarts = agg.ColdStarts
+	resp.WarmStarts = agg.WarmStarts
+	resp.SemiWarmStarts = agg.SemiWarmStarts
+	resp.WorstP95Sec = agg.WorstP95
+	writeJSON(w, http.StatusOK, resp)
+}

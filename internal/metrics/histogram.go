@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Histogram is a log-bucketed latency histogram with bounded memory,
+// suitable for runs too long to keep every sample (the plain Sampler stores
+// all observations; this trades ~1% relative resolution for O(1) space).
+//
+// Buckets are spaced geometrically between Min and Max with Precision
+// buckets per decade. Values below Min clamp into the first bucket, above
+// Max into the overflow bucket.
+type Histogram struct {
+	min, max float64
+	perDec   int
+	counts   []uint64
+	total    uint64
+	sum      float64
+	maxSeen  float64
+	minSeen  float64
+}
+
+// NewHistogram creates a histogram covering [min, max] with bucketsPerDecade
+// resolution. Typical latency use: NewHistogram(1e-4, 1e3, 50) covers 100 µs
+// to 1000 s at ~4.7% bucket width.
+func NewHistogram(min, max float64, bucketsPerDecade int) *Histogram {
+	if min <= 0 || max <= min {
+		panic(fmt.Sprintf("metrics: invalid histogram range [%g, %g]", min, max))
+	}
+	if bucketsPerDecade <= 0 {
+		panic("metrics: bucketsPerDecade must be positive")
+	}
+	decades := math.Log10(max / min)
+	n := int(math.Ceil(decades*float64(bucketsPerDecade))) + 1
+	return &Histogram{
+		min:     min,
+		max:     max,
+		perDec:  bucketsPerDecade,
+		counts:  make([]uint64, n+1), // +1 overflow
+		minSeen: math.Inf(1),
+	}
+}
+
+// NewLatencyHistogram covers 100 µs – 1000 s at 50 buckets/decade, fitting
+// every latency this simulator produces.
+func NewLatencyHistogram() *Histogram { return NewHistogram(1e-4, 1e3, 50) }
+
+func (h *Histogram) bucket(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	if v >= h.max {
+		return len(h.counts) - 1
+	}
+	idx := int(math.Log10(v/h.min) * float64(h.perDec))
+	if idx >= len(h.counts)-1 {
+		idx = len(h.counts) - 2
+	}
+	return idx
+}
+
+// lower returns the lower bound of bucket i.
+func (h *Histogram) lower(i int) float64 {
+	return h.min * math.Pow(10, float64(i)/float64(h.perDec))
+}
+
+// Add records one observation (negative values clamp to the first bucket).
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.bucket(v)]++
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+}
+
+// AddDuration records a duration in seconds.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact arithmetic mean (sums are exact; only quantiles are
+// bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observation seen (exact).
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.maxSeen
+}
+
+// Min returns the smallest observation seen (exact).
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.minSeen
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) with bucket
+// resolution. It returns 0 with no observations and panics on out-of-range q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			// Midpoint of the bucket, clamped to observed extremes.
+			lo := h.lower(i)
+			hi := h.lower(i + 1)
+			v := (lo + hi) / 2
+			if v > h.maxSeen {
+				v = h.maxSeen
+			}
+			if v < h.minSeen {
+				v = h.minSeen
+			}
+			return v
+		}
+	}
+	return h.maxSeen
+}
+
+// P50, P95 and P99 match the Sampler's accessors.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th percentile estimate.
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th percentile estimate.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge accumulates other into h. Both histograms must share a geometry.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.min != other.min || h.max != other.max || h.perDec != other.perDec {
+		panic("metrics: merging histograms with different geometry")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.maxSeen > h.maxSeen {
+			h.maxSeen = other.maxSeen
+		}
+		if other.minSeen < h.minSeen {
+			h.minSeen = other.minSeen
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.P95() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBadConstruction(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero min":     func() { NewHistogram(0, 1, 10) },
+		"max <= min":   func() { NewHistogram(1, 1, 10) },
+		"zero buckets": func() { NewHistogram(1e-3, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramMeanIsExact(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, v := range []float64{0.1, 0.2, 0.3} {
+		h.Add(v)
+	}
+	if math.Abs(h.Mean()-0.2) > 1e-12 {
+		t.Fatalf("Mean = %v, want exact 0.2", h.Mean())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against the exact Sampler on a lognormal workload, bucketed quantiles
+	// stay within ~5% relative error (bucket width at 50/decade is 4.7%).
+	rng := rand.New(rand.NewSource(5))
+	h := NewLatencyHistogram()
+	var s Sampler
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()) * 0.1
+		h.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := s.Percentile(q * 100)
+		approx := h.Quantile(q)
+		if rel := math.Abs(approx-exact) / exact; rel > 0.06 {
+			t.Errorf("q=%v: approx %v vs exact %v (rel err %.3f)", q, approx, exact, rel)
+		}
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0.001, 1, 10)
+	h.Add(1e-9) // below min
+	h.Add(100)  // above max
+	h.Add(-5)   // negative clamps to 0 then min bucket
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %v (exact extremes preserved)", h.Max())
+	}
+	// Quantiles stay within observed extremes.
+	if q := h.Quantile(1); q > 100 {
+		t.Fatalf("Q100 = %v exceeds max seen", q)
+	}
+}
+
+func TestHistogramQuantilePanics(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(1)
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+}
+
+func TestHistogramAddDuration(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.AddDuration(250 * time.Millisecond)
+	if math.Abs(h.Mean()-0.25) > 1e-12 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		a.Add(0.1)
+		b.Add(10)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p50 := a.P50(); p50 < 0.09 || p50 > 11 {
+		t.Fatalf("merged P50 = %v", p50)
+	}
+	if a.Max() != 10 || a.Min() != 0.1 {
+		t.Fatalf("merged extremes = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMergeGeometryMismatchPanics(t *testing.T) {
+	a := NewHistogram(0.001, 1, 10)
+	b := NewHistogram(0.001, 10, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// Property: quantiles are monotone in q and bounded by observed extremes.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewLatencyHistogram()
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Add(rng.Float64() * 10)
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			if v < h.Min()-1e-12 || v > h.Max()+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics provides the statistical primitives the evaluation relies
+// on: latency percentile samplers, empirical CDFs, and time-weighted series
+// for memory-usage timelines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// Sampler collects float64 observations and answers percentile queries.
+// The zero value is ready to use.
+type Sampler struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sampler) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Sampler) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Count returns the number of observations.
+func (s *Sampler) Count() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sampler) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the population standard deviation, or 0 with fewer than two
+// observations.
+func (s *Sampler) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+func (s *Sampler) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks. It returns 0 with no observations and
+// panics on an out-of-range p.
+func (s *Sampler) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,100]", p))
+	}
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	if len(s.values) == 1 {
+		return s.values[0]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.values) {
+		return s.values[len(s.values)-1]
+	}
+	return s.values[lo]*(1-frac) + s.values[lo+1]*frac
+}
+
+// P50, P95 and P99 are the percentiles the paper reports.
+func (s *Sampler) P50() float64 { return s.Percentile(50) }
+
+// P95 returns the 95th percentile.
+func (s *Sampler) P95() float64 { return s.Percentile(95) }
+
+// P99 returns the 99th percentile.
+func (s *Sampler) P99() float64 { return s.Percentile(99) }
+
+// Max returns the largest observation, or 0 with none.
+func (s *Sampler) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Sampler) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// CDF returns the empirical distribution as (value, cumulative fraction)
+// points, one per distinct observation.
+func (s *Sampler) CDF() []CDFPoint {
+	if len(s.values) == 0 {
+		return nil
+	}
+	s.sort()
+	var pts []CDFPoint
+	n := float64(len(s.values))
+	for i := 0; i < len(s.values); i++ {
+		// Collapse runs of equal values to the final cumulative fraction.
+		if i+1 < len(s.values) && s.values[i+1] == s.values[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{Value: s.values[i], Fraction: float64(i+1) / n})
+	}
+	return pts
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// TimeWeighted tracks a piecewise-constant quantity over virtual time (for
+// example a container's local memory bytes) and reports its time-weighted
+// average and peak. The zero value is NOT ready; construct with
+// NewTimeWeighted so the start time is pinned.
+type TimeWeighted struct {
+	start   simtime.Time
+	last    simtime.Time
+	current float64
+	area    float64 // integral of value dt (in value·seconds)
+	peak    float64
+}
+
+// NewTimeWeighted starts tracking at start with the given initial value.
+func NewTimeWeighted(start simtime.Time, initial float64) *TimeWeighted {
+	return &TimeWeighted{start: start, last: start, current: initial, peak: initial}
+}
+
+// Set updates the tracked value at virtual time now. Updates must be
+// non-decreasing in time; an out-of-order update panics since it corrupts
+// the integral.
+func (t *TimeWeighted) Set(now simtime.Time, v float64) {
+	if now < t.last {
+		panic(fmt.Sprintf("metrics: time-weighted update at %v before %v", now, t.last))
+	}
+	t.area += t.current * (now - t.last).Seconds()
+	t.last = now
+	t.current = v
+	if v > t.peak {
+		t.peak = v
+	}
+}
+
+// Add adjusts the tracked value by delta at time now.
+func (t *TimeWeighted) Add(now simtime.Time, delta float64) {
+	t.Set(now, t.current+delta)
+}
+
+// Current returns the present value.
+func (t *TimeWeighted) Current() float64 { return t.current }
+
+// Peak returns the maximum value seen.
+func (t *TimeWeighted) Peak() float64 { return t.peak }
+
+// Average returns the time-weighted mean over [start, now]. With zero
+// elapsed time it returns the current value.
+func (t *TimeWeighted) Average(now simtime.Time) float64 {
+	if now <= t.start {
+		return t.current
+	}
+	area := t.area + t.current*(now-t.last).Seconds()
+	return area / (now - t.start).Seconds()
+}
+
+// Series records (time, value) samples for timeline figures (Fig. 6, 13).
+type Series struct {
+	Times  []simtime.Time
+	Values []float64
+}
+
+// Append adds one sample.
+func (s *Series) Append(at simtime.Time, v float64) {
+	s.Times = append(s.Times, at)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// MB converts bytes to megabytes (10^6) for display parity with the paper.
+func MB(bytes int64) float64 { return float64(bytes) / 1e6 }
+
+// MiB converts bytes to mebibytes.
+func MiB(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+// GiB converts bytes to gibibytes.
+func GiB(bytes int64) float64 { return float64(bytes) / (1 << 30) }
+
+// Pearson computes the Pearson correlation coefficient between two
+// equal-length samples, the statistic behind the paper's §8.6 claims
+// ("positively correlated with the request loads", "a negative correlation
+// with the standard deviation of request intervals"). It returns 0 for
+// fewer than two points or zero variance.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

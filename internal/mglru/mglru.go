@@ -1,0 +1,150 @@
+// Package mglru reimplements the slice of Multi-Generational LRU semantics
+// that FaaSMem builds on (paper §7): pages are grouped into generations by
+// allocation epoch, a *time barrier* is the creation of a new generation,
+// accessed pages are promoted to the youngest generation, and rolling back
+// hot pages corresponds to demoting them to an older generation.
+//
+// The kernel implementation walks LRU lists to stamp pages; this package
+// walks page-index ranges of a pagemem.Space, which has the same O(pages)
+// cost profile — the property measured by the paper's Figure 15 overhead
+// experiment.
+package mglru
+
+import (
+	"fmt"
+
+	"github.com/faasmem/faasmem/internal/pagemem"
+)
+
+// GenID identifies a generation. Older generations have smaller IDs.
+type GenID int32
+
+// NoGen marks a page that has not been assigned to any generation (for
+// example exec-segment temporaries, which FaaSMem does not monitor).
+const NoGen GenID = -1
+
+// LRU tracks the generation of every page in one address space.
+type LRU struct {
+	space *pagemem.Space
+	gen   []GenID // per-page generation, aligned with space page IDs
+	count []int   // pages per generation
+	// tracked is the number of space pages already covered by the gen slice.
+	tracked int
+}
+
+// New creates an LRU over space with a single initial generation (ID 0).
+func New(space *pagemem.Space) *LRU {
+	return &LRU{space: space, count: make([]int, 1)}
+}
+
+// Space returns the underlying address space.
+func (l *LRU) Space() *pagemem.Space { return l.space }
+
+// Youngest returns the ID of the youngest (most recent) generation.
+func (l *LRU) Youngest() GenID { return GenID(len(l.count) - 1) }
+
+// NumGenerations returns how many generations exist.
+func (l *LRU) NumGenerations() int { return len(l.count) }
+
+// GenPages returns the number of pages currently stamped with generation g.
+func (l *LRU) GenPages(g GenID) int {
+	if g < 0 || int(g) >= len(l.count) {
+		return 0
+	}
+	return l.count[g]
+}
+
+// AssignNew stamps every not-yet-tracked page of the space (pages allocated
+// since the last call) with the youngest generation and returns the covered
+// range. Pages allocated between barriers therefore share a generation,
+// exactly as faulted-in pages join the kernel's youngest generation.
+func (l *LRU) AssignNew() pagemem.Range {
+	start := pagemem.PageID(l.tracked)
+	end := pagemem.PageID(l.space.NumPages())
+	young := l.Youngest()
+	for id := start; id < end; id++ {
+		l.gen = append(l.gen, young)
+		l.count[young]++
+	}
+	l.tracked = int(end)
+	return pagemem.Range{Start: start, End: end}
+}
+
+// SkipNew marks every not-yet-tracked page as unmonitored (NoGen) and
+// returns the covered range. FaaSMem uses this for the execution segment,
+// whose page accesses are deliberately not tracked (paper §4).
+func (l *LRU) SkipNew() pagemem.Range {
+	start := pagemem.PageID(l.tracked)
+	end := pagemem.PageID(l.space.NumPages())
+	for id := start; id < end; id++ {
+		l.gen = append(l.gen, NoGen)
+	}
+	l.tracked = int(end)
+	return pagemem.Range{Start: start, End: end}
+}
+
+// InsertBarrier closes the current youngest generation and opens a new one,
+// first stamping any untracked pages into the closing generation. It returns
+// the ID of the generation that was sealed (the new Pucket) and the range of
+// pages stamped by this call. The per-page stamping walk is the cost the
+// paper reports in Figure 15.
+func (l *LRU) InsertBarrier() (sealed GenID, stamped pagemem.Range) {
+	stamped = l.AssignNew()
+	sealed = l.Youngest()
+	l.count = append(l.count, 0)
+	return sealed, stamped
+}
+
+// GenOf returns the generation of page id, or NoGen if the page is
+// unmonitored or beyond the tracked prefix.
+func (l *LRU) GenOf(id pagemem.PageID) GenID {
+	if int(id) >= len(l.gen) {
+		return NoGen
+	}
+	return l.gen[id]
+}
+
+// Promote moves page id to the youngest generation (the access path). It is
+// a no-op for unmonitored pages.
+func (l *LRU) Promote(id pagemem.PageID) {
+	l.moveTo(id, l.Youngest())
+}
+
+// Demote returns page id to generation g — the rollback path of FaaSMem's
+// periodic re-evaluation (paper §5.3). Demoting to a nonexistent generation
+// panics, as that indicates Pucket bookkeeping has been corrupted.
+func (l *LRU) Demote(id pagemem.PageID, g GenID) {
+	if g < 0 || int(g) >= len(l.count) {
+		panic(fmt.Sprintf("mglru: demote to invalid generation %d", g))
+	}
+	l.moveTo(id, g)
+}
+
+func (l *LRU) moveTo(id pagemem.PageID, g GenID) {
+	if int(id) >= len(l.gen) {
+		return
+	}
+	old := l.gen[id]
+	if old == g {
+		return
+	}
+	if old != NoGen {
+		l.count[old]--
+	}
+	if old == NoGen {
+		// Unmonitored pages stay unmonitored: promoting an exec page would
+		// silently add it to a Pucket it was never part of.
+		return
+	}
+	l.gen[id] = g
+	l.count[g]++
+}
+
+// WalkGen calls fn for every tracked page currently in generation g.
+func (l *LRU) WalkGen(g GenID, fn func(pagemem.PageID)) {
+	for id, pg := range l.gen {
+		if pg == g {
+			fn(pagemem.PageID(id))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package pagemem
+
+import "math/bits"
+
+// Bitset is a growable bit vector used for page access bits: 8× denser than
+// []bool and word-at-a-time scans for the Accessed-bit walks every policy
+// performs. The zero value is an empty set.
+type Bitset struct {
+	words []uint64
+}
+
+// grow ensures capacity for bit i.
+func (b *Bitset) grow(i int) {
+	need := i/64 + 1
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.grow(i)
+	b.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Clear clears bit i (no-op beyond current capacity).
+func (b *Bitset) Clear(i int) {
+	if w := i / 64; w < len(b.words) {
+		b.words[w] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Get reports bit i (false beyond current capacity).
+func (b *Bitset) Get(i int) bool {
+	w := i / 64
+	return w < len(b.words) && b.words[w]&(1<<(uint(i)%64)) != 0
+}
+
+// SetRange sets bits [start, end).
+func (b *Bitset) SetRange(start, end int) {
+	if end <= start {
+		return
+	}
+	b.grow(end - 1)
+	for i := start; i < end; {
+		w := i / 64
+		lo := uint(i) % 64
+		hi := uint(64)
+		if end-(w*64) < 64 {
+			hi = uint(end - w*64)
+		}
+		b.words[w] |= (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+		i = (w + 1) * 64
+	}
+}
+
+// ClearRange clears bits [start, end).
+func (b *Bitset) ClearRange(start, end int) {
+	if end <= start || len(b.words) == 0 {
+		return
+	}
+	if max := len(b.words) * 64; end > max {
+		end = max
+	}
+	for i := start; i < end; {
+		w := i / 64
+		lo := uint(i) % 64
+		hi := uint(64)
+		if end-(w*64) < 64 {
+			hi = uint(end - w*64)
+		}
+		b.words[w] &^= (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+		i = (w + 1) * 64
+	}
+}
+
+// CountRange returns the number of set bits in [start, end).
+func (b *Bitset) CountRange(start, end int) int {
+	if end <= start || len(b.words) == 0 {
+		return 0
+	}
+	if max := len(b.words) * 64; end > max {
+		end = max
+	}
+	if start >= end {
+		return 0
+	}
+	n := 0
+	for i := start; i < end; {
+		w := i / 64
+		lo := uint(i) % 64
+		hi := uint(64)
+		if end-(w*64) < 64 {
+			hi = uint(end - w*64)
+		}
+		mask := (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+		n += bits.OnesCount64(b.words[w] & mask)
+		i = (w + 1) * 64
+	}
+	return n
+}
+
+// ForEachSet calls fn for every set bit in [start, end), skipping zero words
+// whole. fn receives the bit index.
+func (b *Bitset) ForEachSet(start, end int, fn func(int)) {
+	if end <= start || len(b.words) == 0 {
+		return
+	}
+	if max := len(b.words) * 64; end > max {
+		end = max
+	}
+	for i := start; i < end; {
+		w := i / 64
+		lo := uint(i) % 64
+		hi := uint(64)
+		if end-(w*64) < 64 {
+			hi = uint(end - w*64)
+		}
+		word := b.words[w] & (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			fn(w*64 + tz)
+			word &^= 1 << uint(tz)
+		}
+		i = (w + 1) * 64
+	}
+}

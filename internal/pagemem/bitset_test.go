@@ -1,0 +1,185 @@
+package pagemem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetGetClear(t *testing.T) {
+	var b Bitset
+	if b.Get(0) || b.Get(1000) {
+		t.Fatal("empty bitset has set bits")
+	}
+	b.Set(5)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int{5, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(6) || b.Get(63) || b.Get(65) {
+		t.Fatal("neighbouring bits leaked")
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("clear failed")
+	}
+	b.Clear(1 << 20) // beyond capacity is a no-op
+}
+
+func TestBitsetSetRange(t *testing.T) {
+	var b Bitset
+	b.SetRange(10, 140)
+	for i := 0; i < 200; i++ {
+		want := i >= 10 && i < 140
+		if b.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, b.Get(i), want)
+		}
+	}
+	if got := b.CountRange(0, 200); got != 130 {
+		t.Fatalf("CountRange = %d, want 130", got)
+	}
+	b.SetRange(5, 5) // empty range is a no-op
+}
+
+func TestBitsetClearRange(t *testing.T) {
+	var b Bitset
+	b.SetRange(0, 256)
+	b.ClearRange(60, 70)
+	if got := b.CountRange(0, 256); got != 246 {
+		t.Fatalf("count after clear = %d, want 246", got)
+	}
+	if b.Get(60) || b.Get(69) {
+		t.Fatal("range not cleared")
+	}
+	if !b.Get(59) || !b.Get(70) {
+		t.Fatal("clear overshot")
+	}
+	b.ClearRange(1000, 2000) // beyond capacity clamps
+}
+
+func TestBitsetForEachSet(t *testing.T) {
+	var b Bitset
+	for _, i := range []int{3, 64, 65, 200} {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(0, 256, func(i int) { got = append(got, i) })
+	want := []int{3, 64, 65, 200}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet = %v, want %v", got, want)
+		}
+	}
+	// Sub-range respects boundaries.
+	got = got[:0]
+	b.ForEachSet(64, 66, func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 64 || got[1] != 65 {
+		t.Fatalf("sub-range = %v", got)
+	}
+}
+
+// Property: Bitset agrees with a reference map under random operations.
+func TestBitsetMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Bitset
+		ref := map[int]bool{}
+		const n = 512
+		for op := 0; op < 500; op++ {
+			switch rng.Intn(5) {
+			case 0:
+				i := rng.Intn(n)
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				i := rng.Intn(n)
+				b.Clear(i)
+				delete(ref, i)
+			case 2:
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo)
+				b.SetRange(lo, hi)
+				for i := lo; i < hi; i++ {
+					ref[i] = true
+				}
+			case 3:
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo)
+				b.ClearRange(lo, hi)
+				for i := lo; i < hi; i++ {
+					delete(ref, i)
+				}
+			case 4:
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo)
+				if b.CountRange(lo, hi) != countRef(ref, lo, hi) {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		// ForEachSet visits exactly the reference set, in order.
+		prev := -1
+		ok := true
+		b.ForEachSet(0, n, func(i int) {
+			if !ref[i] || i <= prev {
+				ok = false
+			}
+			prev = i
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countRef(ref map[int]bool, lo, hi int) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if ref[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSpaceCountAccessed(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegInit, 100)
+	if got := s.CountAccessed(r); got != 100 {
+		t.Fatalf("fresh pages accessed = %d, want 100", got)
+	}
+	s.ScanAndClear(r, nil)
+	if got := s.CountAccessed(r); got != 0 {
+		t.Fatalf("after scan = %d, want 0", got)
+	}
+	s.Touch(r.Start + 7)
+	if got := s.CountAccessed(r); got != 1 {
+		t.Fatalf("after touch = %d, want 1", got)
+	}
+}
+
+func BenchmarkBitsetScan(b *testing.B) {
+	var bs Bitset
+	bs.SetRange(0, 1<<18) // 256k pages = 1 GiB container
+	bs.ClearRange(1<<17, 1<<18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		bs.ForEachSet(0, 1<<18, func(int) { n++ })
+		if n != 1<<17 {
+			b.Fatal("wrong count")
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package pagemem models a container's memory at page granularity.
+//
+// A Space is a growable array of fixed-size pages. Each page carries the
+// state the offloading policies act on (inactive / hot / remote / free), the
+// lifecycle segment it was allocated in (runtime / init / exec), and an
+// access bit, mirroring the page-table Accessed bit that the paper's
+// mechanisms (and DAMON/TMO) sample. Aggregate counters are maintained
+// incrementally so "how much local memory does this container hold" is O(1).
+package pagemem
+
+import "fmt"
+
+// DefaultPageSize is the page size used throughout the simulation, matching
+// the 4 KiB base pages the paper's kernel implementation manages.
+const DefaultPageSize = 4096
+
+// PageID indexes a page within a Space.
+type PageID int32
+
+// State is the placement/offloading state of an allocated page.
+type State uint8
+
+const (
+	// Free marks an unallocated (or released) page slot.
+	Free State = iota
+	// Inactive pages sit in their Pucket's inactive list: allocated but not
+	// re-accessed since the last demotion; candidates for offloading.
+	Inactive
+	// Hot pages live in the shared hot page pool: they were accessed after
+	// allocation (or recalled from remote) and are kept local.
+	Hot
+	// Remote pages have been offloaded to the memory pool; touching one
+	// triggers a page fault and a remote fetch.
+	Remote
+	numStates = iota
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s State) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Inactive:
+		return "inactive"
+	case Hot:
+		return "hot"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Segment is the container-lifecycle stage a page was allocated in
+// (paper §3: runtime, init, and execution segments).
+type Segment uint8
+
+const (
+	// SegRuntime pages are allocated while the language runtime loads.
+	SegRuntime Segment = iota
+	// SegInit pages are allocated during user-code initialization.
+	SegInit
+	// SegExec pages hold per-request temporaries, freed on completion.
+	SegExec
+	// NumSegments is the number of lifecycle segments.
+	NumSegments = iota
+)
+
+// String implements fmt.Stringer.
+func (s Segment) String() string {
+	switch s {
+	case SegRuntime:
+		return "runtime"
+	case SegInit:
+		return "init"
+	case SegExec:
+		return "exec"
+	default:
+		return fmt.Sprintf("segment(%d)", uint8(s))
+	}
+}
+
+// Range is a half-open interval of pages [Start, End).
+type Range struct {
+	Start, End PageID
+}
+
+// Len returns the number of pages in the range.
+func (r Range) Len() int { return int(r.End - r.Start) }
+
+// Contains reports whether id falls inside the range.
+func (r Range) Contains(id PageID) bool { return id >= r.Start && id < r.End }
+
+// Space is a page-granularity address space for one container. The zero
+// value is not usable; construct with NewSpace.
+type Space struct {
+	pageSize int
+	state    []State
+	seg      []Segment
+	accessed Bitset
+	// counts[seg][state] tracks pages per segment and state.
+	counts [NumSegments][numStates]int
+}
+
+// NewSpace returns an empty address space with the given page size in bytes.
+// pageSize must be positive; use DefaultPageSize unless a test needs tiny
+// pages.
+func NewSpace(pageSize int) *Space {
+	if pageSize <= 0 {
+		panic("pagemem: page size must be positive")
+	}
+	return &Space{pageSize: pageSize}
+}
+
+// PageSize returns the page size in bytes.
+func (s *Space) PageSize() int { return s.pageSize }
+
+// NumPages returns the total number of page slots ever allocated (including
+// freed exec pages, whose slots are not reused).
+func (s *Space) NumPages() int { return len(s.state) }
+
+// Alloc appends n pages of the given segment in the Inactive state and
+// returns their range. Newly allocated pages carry a set access bit: the
+// allocation itself wrote them, exactly as a faulted-in page is young in the
+// kernel.
+func (s *Space) Alloc(seg Segment, n int) Range {
+	if n < 0 {
+		panic("pagemem: negative allocation")
+	}
+	start := PageID(len(s.state))
+	for i := 0; i < n; i++ {
+		s.state = append(s.state, Inactive)
+		s.seg = append(s.seg, seg)
+	}
+	s.accessed.SetRange(int(start), int(start)+n)
+	s.counts[seg][Inactive] += n
+	return Range{Start: start, End: start + PageID(n)}
+}
+
+// AllocBytes allocates enough pages to hold the given byte count, rounding
+// up to whole pages.
+func (s *Space) AllocBytes(seg Segment, bytes int64) Range {
+	if bytes < 0 {
+		panic("pagemem: negative byte allocation")
+	}
+	n := int((bytes + int64(s.pageSize) - 1) / int64(s.pageSize))
+	return s.Alloc(seg, n)
+}
+
+// FreeRange releases every non-free page in r. Used when exec-segment
+// temporaries are reclaimed at request completion.
+func (s *Space) FreeRange(r Range) {
+	for id := r.Start; id < r.End; id++ {
+		st := s.state[id]
+		if st == Free {
+			continue
+		}
+		s.counts[s.seg[id]][st]--
+		s.counts[s.seg[id]][Free]++
+		s.state[id] = Free
+		s.accessed.Clear(int(id))
+	}
+}
+
+// ReuseRange reactivates every Free page in r back to Inactive with a set
+// access bit — the allocation path for exec-segment temporaries, which reuse
+// the same page slots on every request instead of growing the space.
+func (s *Space) ReuseRange(r Range) {
+	for id := r.Start; id < r.End; id++ {
+		if s.state[id] != Free {
+			continue
+		}
+		s.counts[s.seg[id]][Free]--
+		s.counts[s.seg[id]][Inactive]++
+		s.state[id] = Inactive
+		s.accessed.Set(int(id))
+	}
+}
+
+// State returns the state of page id.
+func (s *Space) State(id PageID) State { return s.state[id] }
+
+// SegmentOf returns the lifecycle segment page id was allocated in.
+func (s *Space) SegmentOf(id PageID) Segment { return s.seg[id] }
+
+// SetState transitions page id to st, keeping the aggregate counters
+// consistent. Transitioning a Free page is a programming error.
+func (s *Space) SetState(id PageID, st State) {
+	old := s.state[id]
+	if old == st {
+		return
+	}
+	if old == Free {
+		panic(fmt.Sprintf("pagemem: page %d is free; Alloc before SetState", id))
+	}
+	seg := s.seg[id]
+	s.counts[seg][old]--
+	s.counts[seg][st]++
+	s.state[id] = st
+}
+
+// Touch sets the access bit of page id and returns its current state so the
+// caller can decide whether a promotion or a remote fault is needed.
+func (s *Space) Touch(id PageID) State {
+	s.accessed.Set(int(id))
+	return s.state[id]
+}
+
+// Accessed reports the access bit of page id without clearing it.
+func (s *Space) Accessed(id PageID) bool { return s.accessed.Get(int(id)) }
+
+// ClearAccessed clears the access bit of page id.
+func (s *Space) ClearAccessed(id PageID) { s.accessed.Clear(int(id)) }
+
+// ScanAndClear invokes fn for every page in r whose access bit is set, then
+// clears the bit — the moral equivalent of a page-table Accessed-bit scan.
+// Zero words are skipped whole, so scanning a cold container is cheap.
+func (s *Space) ScanAndClear(r Range, fn func(PageID)) {
+	if fn != nil {
+		s.accessed.ForEachSet(int(r.Start), int(r.End), func(i int) { fn(PageID(i)) })
+	}
+	s.accessed.ClearRange(int(r.Start), int(r.End))
+}
+
+// CountAccessed tallies set access bits in r without clearing them.
+func (s *Space) CountAccessed(r Range) int {
+	return s.accessed.CountRange(int(r.Start), int(r.End))
+}
+
+// CountInRange tallies pages of the given state inside r.
+func (s *Space) CountInRange(r Range, st State) int {
+	n := 0
+	for id := r.Start; id < r.End; id++ {
+		if s.state[id] == st {
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of pages in the given segment and state.
+func (s *Space) Count(seg Segment, st State) int { return s.counts[seg][st] }
+
+// CountState sums a state's pages across all segments.
+func (s *Space) CountState(st State) int {
+	n := 0
+	for seg := 0; seg < NumSegments; seg++ {
+		n += s.counts[seg][st]
+	}
+	return n
+}
+
+// LocalBytes reports resident local memory: inactive plus hot pages.
+func (s *Space) LocalBytes() int64 {
+	return int64(s.CountState(Inactive)+s.CountState(Hot)) * int64(s.pageSize)
+}
+
+// RemoteBytes reports memory currently offloaded to the pool.
+func (s *Space) RemoteBytes() int64 {
+	return int64(s.CountState(Remote)) * int64(s.pageSize)
+}
+
+// TotalBytes reports all allocated (non-free) memory, local plus remote.
+func (s *Space) TotalBytes() int64 { return s.LocalBytes() + s.RemoteBytes() }
+
+// BytesOf converts a page count to bytes at this space's page size.
+func (s *Space) BytesOf(pages int) int64 { return int64(pages) * int64(s.pageSize) }
+
+// PagesOf converts a byte count to pages, rounding up.
+func (s *Space) PagesOf(bytes int64) int {
+	return int((bytes + int64(s.pageSize) - 1) / int64(s.pageSize))
+}

@@ -1,0 +1,329 @@
+package pagemem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpaceRejectsBadPageSize(t *testing.T) {
+	for _, sz := range []int{0, -1, -4096} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", sz)
+				}
+			}()
+			NewSpace(sz)
+		}()
+	}
+}
+
+func TestAllocBasics(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegRuntime, 10)
+	if r.Len() != 10 {
+		t.Fatalf("range length = %d, want 10", r.Len())
+	}
+	if s.NumPages() != 10 {
+		t.Fatalf("NumPages = %d, want 10", s.NumPages())
+	}
+	if got := s.Count(SegRuntime, Inactive); got != 10 {
+		t.Fatalf("runtime inactive = %d, want 10", got)
+	}
+	for id := r.Start; id < r.End; id++ {
+		if s.State(id) != Inactive {
+			t.Fatalf("page %d state %v, want inactive", id, s.State(id))
+		}
+		if !s.Accessed(id) {
+			t.Fatalf("page %d should be born accessed", id)
+		}
+		if s.SegmentOf(id) != SegRuntime {
+			t.Fatalf("page %d segment %v, want runtime", id, s.SegmentOf(id))
+		}
+	}
+}
+
+func TestAllocSegmentsAreContiguous(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	rt := s.Alloc(SegRuntime, 5)
+	init := s.Alloc(SegInit, 7)
+	exec := s.Alloc(SegExec, 3)
+	if rt.End != init.Start || init.End != exec.Start {
+		t.Fatalf("segments not contiguous: %+v %+v %+v", rt, init, exec)
+	}
+}
+
+func TestAllocBytesRoundsUp(t *testing.T) {
+	s := NewSpace(4096)
+	r := s.AllocBytes(SegInit, 4097)
+	if r.Len() != 2 {
+		t.Fatalf("AllocBytes(4097) = %d pages, want 2", r.Len())
+	}
+	if s.AllocBytes(SegInit, 0).Len() != 0 {
+		t.Fatal("AllocBytes(0) should allocate nothing")
+	}
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(-1) did not panic")
+		}
+	}()
+	s.Alloc(SegExec, -1)
+}
+
+func TestSetStateMaintainsCounters(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegInit, 4)
+	s.SetState(r.Start, Hot)
+	s.SetState(r.Start+1, Remote)
+	if got := s.Count(SegInit, Inactive); got != 2 {
+		t.Errorf("inactive = %d, want 2", got)
+	}
+	if got := s.Count(SegInit, Hot); got != 1 {
+		t.Errorf("hot = %d, want 1", got)
+	}
+	if got := s.Count(SegInit, Remote); got != 1 {
+		t.Errorf("remote = %d, want 1", got)
+	}
+	// Same-state transition is a no-op.
+	s.SetState(r.Start, Hot)
+	if got := s.Count(SegInit, Hot); got != 1 {
+		t.Errorf("hot after no-op = %d, want 1", got)
+	}
+}
+
+func TestSetStateOnFreePagePanics(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegExec, 1)
+	s.FreeRange(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState on free page did not panic")
+		}
+	}()
+	s.SetState(r.Start, Hot)
+}
+
+func TestFreeRange(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegExec, 8)
+	s.SetState(r.Start, Hot)
+	s.FreeRange(r)
+	if got := s.CountState(Inactive) + s.CountState(Hot) + s.CountState(Remote); got != 0 {
+		t.Fatalf("non-free pages after FreeRange = %d, want 0", got)
+	}
+	if got := s.Count(SegExec, Free); got != 8 {
+		t.Fatalf("free count = %d, want 8", got)
+	}
+	// Freeing twice is harmless.
+	s.FreeRange(r)
+	if got := s.Count(SegExec, Free); got != 8 {
+		t.Fatalf("free count after double free = %d, want 8", got)
+	}
+	for id := r.Start; id < r.End; id++ {
+		if s.Accessed(id) {
+			t.Fatalf("freed page %d still has access bit", id)
+		}
+	}
+}
+
+func TestTouchSetsAccessBit(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegRuntime, 1)
+	s.ClearAccessed(r.Start)
+	if s.Accessed(r.Start) {
+		t.Fatal("access bit should be clear")
+	}
+	if st := s.Touch(r.Start); st != Inactive {
+		t.Fatalf("Touch returned %v, want inactive", st)
+	}
+	if !s.Accessed(r.Start) {
+		t.Fatal("Touch did not set access bit")
+	}
+}
+
+func TestScanAndClear(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegInit, 10)
+	for id := r.Start; id < r.End; id++ {
+		s.ClearAccessed(id)
+	}
+	s.Touch(r.Start + 2)
+	s.Touch(r.Start + 5)
+	var seen []PageID
+	s.ScanAndClear(r, func(id PageID) { seen = append(seen, id) })
+	if len(seen) != 2 || seen[0] != r.Start+2 || seen[1] != r.Start+5 {
+		t.Fatalf("scan saw %v, want [2 5] offsets", seen)
+	}
+	// Bits must now be clear.
+	count := 0
+	s.ScanAndClear(r, func(PageID) { count++ })
+	if count != 0 {
+		t.Fatalf("second scan saw %d pages, want 0", count)
+	}
+}
+
+func TestScanAndClearNilFn(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegInit, 3)
+	s.ScanAndClear(r, nil) // must not panic
+	if s.Accessed(r.Start) {
+		t.Fatal("nil-fn scan should still clear bits")
+	}
+}
+
+func TestCountInRange(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegRuntime, 10)
+	s.SetState(r.Start+1, Remote)
+	s.SetState(r.Start+2, Remote)
+	s.SetState(r.Start+3, Hot)
+	if got := s.CountInRange(r, Remote); got != 2 {
+		t.Errorf("remote in range = %d, want 2", got)
+	}
+	if got := s.CountInRange(r, Inactive); got != 7 {
+		t.Errorf("inactive in range = %d, want 7", got)
+	}
+	sub := Range{Start: r.Start, End: r.Start + 2}
+	if got := s.CountInRange(sub, Remote); got != 1 {
+		t.Errorf("remote in subrange = %d, want 1", got)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	s := NewSpace(4096)
+	r := s.Alloc(SegInit, 100)
+	s.SetState(r.Start, Remote)
+	s.SetState(r.Start+1, Remote)
+	s.SetState(r.Start+2, Hot)
+	wantLocal := int64(98 * 4096)
+	if got := s.LocalBytes(); got != wantLocal {
+		t.Errorf("LocalBytes = %d, want %d", got, wantLocal)
+	}
+	if got := s.RemoteBytes(); got != int64(2*4096) {
+		t.Errorf("RemoteBytes = %d, want %d", got, 2*4096)
+	}
+	if got := s.TotalBytes(); got != int64(100*4096) {
+		t.Errorf("TotalBytes = %d, want %d", got, 100*4096)
+	}
+}
+
+func TestBytesPagesConversion(t *testing.T) {
+	s := NewSpace(4096)
+	if got := s.BytesOf(3); got != 12288 {
+		t.Errorf("BytesOf(3) = %d", got)
+	}
+	if got := s.PagesOf(1); got != 1 {
+		t.Errorf("PagesOf(1) = %d, want 1", got)
+	}
+	if got := s.PagesOf(8192); got != 2 {
+		t.Errorf("PagesOf(8192) = %d, want 2", got)
+	}
+	if got := s.PagesOf(0); got != 0 {
+		t.Errorf("PagesOf(0) = %d, want 0", got)
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{Start: 10, End: 20}
+	if r.Len() != 10 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(10) || !r.Contains(19) {
+		t.Error("Contains should include boundaries [start, end)")
+	}
+	if r.Contains(9) || r.Contains(20) {
+		t.Error("Contains should exclude outside pages")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{Free: "free", Inactive: "inactive", Hot: "hot", Remote: "remote"}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	segs := map[Segment]string{SegRuntime: "runtime", SegInit: "init", SegExec: "exec"}
+	for sg, want := range segs {
+		if sg.String() != want {
+			t.Errorf("segment %d String() = %q, want %q", sg, sg.String(), want)
+		}
+	}
+}
+
+// Property: counters always equal a brute-force recount after arbitrary
+// random operations.
+func TestCountersMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace(4096)
+		var ranges []Range
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				ranges = append(ranges, s.Alloc(Segment(rng.Intn(NumSegments)), rng.Intn(20)))
+			case 1:
+				if s.NumPages() > 0 {
+					id := PageID(rng.Intn(s.NumPages()))
+					if s.State(id) != Free {
+						s.SetState(id, State(1+rng.Intn(3)))
+					}
+				}
+			case 2:
+				if s.NumPages() > 0 {
+					id := PageID(rng.Intn(s.NumPages()))
+					if s.State(id) != Free {
+						s.Touch(id)
+					}
+				}
+			case 3:
+				if len(ranges) > 0 {
+					s.FreeRange(ranges[rng.Intn(len(ranges))])
+				}
+			}
+		}
+		// Brute-force recount.
+		var want [NumSegments][4]int
+		for id := 0; id < s.NumPages(); id++ {
+			want[s.SegmentOf(PageID(id))][s.State(PageID(id))]++
+		}
+		for seg := 0; seg < NumSegments; seg++ {
+			for st := 0; st < 4; st++ {
+				if got := s.Count(Segment(seg), State(st)); got != want[seg][st] {
+					t.Logf("seed %d: count[%v][%v] = %d, want %d", seed, Segment(seg), State(st), got, want[seg][st])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReuseRange(t *testing.T) {
+	s := NewSpace(DefaultPageSize)
+	r := s.Alloc(SegExec, 4)
+	s.FreeRange(r)
+	s.ReuseRange(r)
+	if got := s.Count(SegExec, Inactive); got != 4 {
+		t.Fatalf("inactive after reuse = %d, want 4", got)
+	}
+	for id := r.Start; id < r.End; id++ {
+		if !s.Accessed(id) {
+			t.Fatalf("reused page %d should be born accessed", id)
+		}
+	}
+	// Reusing non-free pages is a no-op.
+	s.SetState(r.Start, Hot)
+	s.ReuseRange(r)
+	if got := s.Count(SegExec, Hot); got != 1 {
+		t.Fatalf("reuse disturbed non-free page states: hot = %d", got)
+	}
+}

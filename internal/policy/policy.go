@@ -1,0 +1,148 @@
+// Package policy defines the interface between the serverless platform and
+// a memory-offloading policy, plus the baseline policies the paper compares
+// against: no offloading, TMO (feedback-based), and DAMON (sampling-based).
+//
+// A Policy is attached per container and receives lifecycle hooks at exactly
+// the stage boundaries the paper's analysis is built on (runtime loaded,
+// init done, request start/end, idle, recycle). Policies act on the
+// container through the View interface; local→remote movement must go
+// through View.OffloadPages so that cgroup accounting, pool capacity, and
+// link bandwidth are charged consistently.
+package policy
+
+import (
+	"github.com/faasmem/faasmem/internal/mglru"
+	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// View is the policy-facing surface of a container. It is implemented by
+// the platform's container type.
+type View interface {
+	// ID is the container's unique identifier.
+	ID() string
+	// FunctionID names the function this container serves.
+	FunctionID() string
+	// Profile returns the workload profile of the function.
+	Profile() *workload.Profile
+	// Space returns the container's page-granularity address space.
+	Space() *pagemem.Space
+	// LRU returns the container's multi-generational LRU. The platform
+	// inserts the Runtime-Init barrier when the runtime finishes loading and
+	// the Init-Execution barrier when initialization completes, so the LRU's
+	// sealed generations are the paper's Puckets.
+	LRU() *mglru.LRU
+	// RuntimeRange is the page range of the runtime segment (Runtime Pucket).
+	RuntimeRange() pagemem.Range
+	// InitRange is the page range of the init segment (Init Pucket).
+	InitRange() pagemem.Range
+	// RuntimeGen is the LRU generation backing the Runtime Pucket.
+	RuntimeGen() mglru.GenID
+	// InitGen is the LRU generation backing the Init Pucket.
+	InitGen() mglru.GenID
+	// RequestsServed counts completed requests on this container.
+	RequestsServed() int
+	// Idle reports whether the container is in keep-alive (no request in
+	// flight).
+	Idle() bool
+	// StallFraction estimates the recent share of request time spent waiting
+	// on remote-memory faults — the simulation's stand-in for TMO's PSI.
+	StallFraction() float64
+	// OffloadPages moves the given local (inactive or hot) pages to the
+	// remote pool, charging cgroup accounting and link bandwidth. It returns
+	// how many pages were actually offloaded; fewer than requested means the
+	// pool filled up.
+	OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int
+	// OffloadScale returns the platform bandwidth governor's current factor
+	// in (0, 1]: gradual offloaders multiply their per-tick budget by it so
+	// that aggregate offload traffic stays within the link budget (§6.2).
+	OffloadScale() float64
+}
+
+// Policy manufactures per-container policy instances.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Attach is called when a container launches and returns the hook
+	// receiver for that container's lifetime.
+	Attach(e *simtime.Engine, v View) ContainerPolicy
+}
+
+// ContainerPolicy receives a container's lifecycle hooks. Implementations
+// must tolerate hooks after Recycle being absent (the platform never calls
+// them) but should cancel their own timers in Recycle.
+type ContainerPolicy interface {
+	// RuntimeLoaded fires when the container runtime finished loading, right
+	// after the Runtime-Init time barrier was inserted.
+	RuntimeLoaded(e *simtime.Engine)
+	// InitDone fires when function initialization completed, right after the
+	// Init-Execution time barrier was inserted.
+	InitDone(e *simtime.Engine)
+	// RequestStart fires when a request begins executing on the container
+	// (after exec-segment pages were allocated).
+	RequestStart(e *simtime.Engine)
+	// RequestEnd fires when a request completes (after exec-segment pages
+	// were freed).
+	RequestEnd(e *simtime.Engine)
+	// Idle fires when the container enters keep-alive.
+	Idle(e *simtime.Engine)
+	// Recycle fires when the container is torn down.
+	Recycle(e *simtime.Engine)
+}
+
+// SemiWarmer is an optional ContainerPolicy extension: policies that
+// implement a semi-warm period report whether the container is currently in
+// it, letting the platform classify a reuse as a semi-warm start rather than
+// a warm start.
+type SemiWarmer interface {
+	// InSemiWarm reports whether the container is in its semi-warm period.
+	InSemiWarm() bool
+}
+
+// Base is a no-op ContainerPolicy for embedding: implementations override
+// only the hooks they need.
+type Base struct{}
+
+// RuntimeLoaded implements ContainerPolicy.
+func (Base) RuntimeLoaded(*simtime.Engine) {}
+
+// InitDone implements ContainerPolicy.
+func (Base) InitDone(*simtime.Engine) {}
+
+// RequestStart implements ContainerPolicy.
+func (Base) RequestStart(*simtime.Engine) {}
+
+// RequestEnd implements ContainerPolicy.
+func (Base) RequestEnd(*simtime.Engine) {}
+
+// Idle implements ContainerPolicy.
+func (Base) Idle(*simtime.Engine) {}
+
+// Recycle implements ContainerPolicy.
+func (Base) Recycle(*simtime.Engine) {}
+
+// CollectPages gathers up to max page IDs in r whose state matches st.
+// max <= 0 means no limit.
+func CollectPages(s *pagemem.Space, r pagemem.Range, st pagemem.State, max int) []pagemem.PageID {
+	var out []pagemem.PageID
+	for id := r.Start; id < r.End; id++ {
+		if s.State(id) == st {
+			out = append(out, id)
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NoOffload is the paper's baseline: FaaSMem's platform with memory
+// offloading disabled.
+type NoOffload struct{}
+
+// Name implements Policy.
+func (NoOffload) Name() string { return "baseline" }
+
+// Attach implements Policy.
+func (NoOffload) Attach(*simtime.Engine, View) ContainerPolicy { return Base{} }

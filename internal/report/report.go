@@ -1,0 +1,118 @@
+// Package report renders experiment results for humans: markdown tables for
+// EXPERIMENTS.md-style records and ASCII plots that give the figures'
+// *shape* directly in a terminal — timelines (Fig. 13), CDFs (Fig. 14), and
+// scatter trends (Fig. 16).
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple markdown table builder.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends one row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	if len(t.Header) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Header))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Plot renders points as an ASCII chart of the given size. Points are
+// plotted with '*' on a dotted canvas; axis extremes are labeled. It returns
+// "" for empty input or degenerate sizes.
+func Plot(points []Point, width, height int) string {
+	if len(points) == 0 || width < 8 || height < 2 {
+		return ""
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		x := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+		y := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - y
+		grid[row][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%10s ┤%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g\n", "", width/2, minX, width-width/2, maxX)
+	return b.String()
+}
+
+// CDF renders an empirical CDF (fractions in [0,1]) as an ASCII chart.
+func CDF(values []float64, fractions []float64, width, height int) string {
+	if len(values) != len(fractions) {
+		return ""
+	}
+	pts := make([]Point, len(values))
+	for i := range values {
+		pts[i] = Point{X: values[i], Y: fractions[i]}
+	}
+	return Plot(pts, width, height)
+}
+
+// HBar renders one horizontal bar scaled so that max spans width runes.
+func HBar(label string, value, max float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	n := 0
+	if max > 0 {
+		n = int(math.Round(value / max * float64(width)))
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-12s %s %.4g", label, strings.Repeat("█", n)+strings.Repeat("·", width-n), value)
+}

@@ -1,0 +1,149 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add("1", "2")
+	tb.Add("3") // short row pads
+	md := tb.Markdown()
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), md)
+	}
+	if lines[0] != "| a | b |" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "| --- | --- |" {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if lines[3] != "| 3 |  |" {
+		t.Errorf("padded row = %q", lines[3])
+	}
+}
+
+func TestTableEmptyHeader(t *testing.T) {
+	if (&Table{}).Markdown() != "" {
+		t.Fatal("empty table should render nothing")
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 4}, {3, 9}}
+	out := Plot(pts, 40, 8)
+	if out == "" {
+		t.Fatal("plot empty")
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("too few plotted points:\n%s", out)
+	}
+	if !strings.Contains(out, "9") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // height + x-axis labels
+		t.Errorf("plot has %d lines, want 9", len(lines))
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	if Plot(nil, 40, 8) != "" {
+		t.Error("nil points should render nothing")
+	}
+	if Plot([]Point{{1, 1}}, 4, 8) != "" {
+		t.Error("too-narrow plot should render nothing")
+	}
+	// Constant series must not divide by zero.
+	out := Plot([]Point{{1, 5}, {2, 5}}, 20, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series lost its points")
+	}
+}
+
+func TestCDFHelper(t *testing.T) {
+	out := CDF([]float64{1, 2, 3}, []float64{0.3, 0.6, 1.0}, 30, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("CDF plot empty")
+	}
+	if CDF([]float64{1}, []float64{0.5, 1}, 30, 5) != "" {
+		t.Fatal("mismatched lengths should render nothing")
+	}
+}
+
+func TestHBar(t *testing.T) {
+	full := HBar("all", 10, 10, 10)
+	if strings.Count(full, "█") != 10 {
+		t.Errorf("full bar = %q", full)
+	}
+	half := HBar("half", 5, 10, 10)
+	if strings.Count(half, "█") != 5 || strings.Count(half, "·") != 5 {
+		t.Errorf("half bar = %q", half)
+	}
+	zero := HBar("zero", 0, 10, 10)
+	if strings.Count(zero, "█") != 0 {
+		t.Errorf("zero bar = %q", zero)
+	}
+	// Value above max clamps instead of overflowing the lane.
+	over := HBar("over", 20, 10, 10)
+	if strings.Count(over, "█") != 10 {
+		t.Errorf("overflow bar = %q", over)
+	}
+}
+
+func TestSVGChartBasics(t *testing.T) {
+	svg := SVGChart(ChartOptions{
+		Title:  "Fig 1",
+		XLabel: "timeout (s)",
+		YLabel: "inactive (%)",
+		LogX:   true,
+	}, Series{Name: "inactive", Points: []Point{{10, 67}, {100, 89}, {1000, 94}}})
+	for _, want := range []string{"<svg", "</svg>", "Fig 1", "timeout (s)", "inactive (%)", "<path", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGChartScatterHasNoPath(t *testing.T) {
+	svg := SVGChart(ChartOptions{}, Series{Name: "pts", Scatter: true, Points: []Point{{1, 1}, {2, 2}}})
+	if strings.Contains(svg, "<path") {
+		t.Error("scatter series drew a line")
+	}
+	if strings.Count(svg, "<circle") != 2 {
+		t.Error("scatter markers missing")
+	}
+}
+
+func TestSVGChartEmpty(t *testing.T) {
+	svg := SVGChart(ChartOptions{})
+	if !strings.Contains(svg, "no data") {
+		t.Errorf("empty chart = %q", svg)
+	}
+}
+
+func TestSVGChartEscapesLabels(t *testing.T) {
+	svg := SVGChart(ChartOptions{Title: `a<b&"c"`}, Series{Points: []Point{{1, 1}}})
+	if strings.Contains(svg, `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGChartMultiSeriesLegend(t *testing.T) {
+	svg := SVGChart(ChartOptions{},
+		Series{Name: "one", Points: []Point{{1, 1}, {2, 2}}},
+		Series{Name: "two", Points: []Point{{1, 2}, {2, 1}}},
+	)
+	if !strings.Contains(svg, ">one<") || !strings.Contains(svg, ">two<") {
+		t.Error("legend entries missing")
+	}
+	// Distinct colors for distinct series.
+	if !strings.Contains(svg, seriesColors[0]) || !strings.Contains(svg, seriesColors[1]) {
+		t.Error("series colors missing")
+	}
+}

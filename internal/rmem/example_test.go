@@ -1,0 +1,34 @@
+package rmem_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/rmem"
+)
+
+// Example models an offload followed by a demand fault on the default
+// 56 Gbps pool.
+func Example() {
+	pool := rmem.NewPool(rmem.Config{})
+	done, err := pool.OffloadBytes(0, 100<<20) // 100 MiB page-out
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("offload wire time: ~%dms\n", done.Milliseconds())
+	lat := pool.FaultBatch(time.Second, 1, 4096) // one 4 KiB demand fault
+	fmt.Printf("single fault: %dus\n", lat.Microseconds())
+	// Output:
+	// offload wire time: ~14ms
+	// single fault: 15us
+}
+
+// ExampleSSDConfig shows why §9 rules SSDs out: the durability-limited
+// write bandwidth makes even a small offload take minutes.
+func ExampleSSDConfig() {
+	ssd := rmem.NewPool(rmem.SSDConfig())
+	done, _ := ssd.OffloadBytes(0, 100<<20)
+	fmt.Printf("100 MiB to SSD: ~%.0fs\n", done.Seconds())
+	// Output:
+	// 100 MiB to SSD: ~105s
+}

@@ -1,0 +1,106 @@
+package rmem
+
+import (
+	"math"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// Meter accumulates transferred bytes and exposes both cumulative totals and
+// a recent transfer rate. The rate uses an exponentially decayed average with
+// the configured half-life, which is cheap, allocation-free, and smooth under
+// the bursty transfer patterns serverless traces produce.
+type Meter struct {
+	halfLife time.Duration
+	total    int64
+	last     simtime.Time
+	rate     float64 // bytes/sec, decayed
+	started  bool
+	start    simtime.Time
+}
+
+// NewMeter creates a meter whose rate estimate halves after halfLife of
+// silence. halfLife must be positive.
+func NewMeter(halfLife time.Duration) *Meter {
+	if halfLife <= 0 {
+		panic("rmem: meter half-life must be positive")
+	}
+	return &Meter{halfLife: halfLife}
+}
+
+// Record notes that n bytes moved at virtual time now.
+func (m *Meter) Record(now simtime.Time, n int64) {
+	if n < 0 {
+		panic("rmem: negative meter record")
+	}
+	if !m.started {
+		m.started = true
+		m.start = now
+		m.last = now
+	}
+	m.decayTo(now)
+	m.total += n
+	// Spread the burst over one half-life for the instantaneous estimate.
+	m.rate += float64(n) / m.halfLife.Seconds()
+}
+
+func (m *Meter) decayTo(now simtime.Time) {
+	if now <= m.last {
+		return
+	}
+	dt := (now - m.last).Seconds()
+	m.rate *= math.Exp2(-dt / m.halfLife.Seconds())
+	m.last = now
+}
+
+// Rate returns the decayed transfer rate in bytes/second as of now.
+func (m *Meter) Rate(now simtime.Time) float64 {
+	m.decayTo(now)
+	return m.rate
+}
+
+// Total returns cumulative bytes recorded.
+func (m *Meter) Total() int64 { return m.total }
+
+// Average returns the lifetime average rate in bytes/second between the
+// first record and now. Zero before any record.
+func (m *Meter) Average(now simtime.Time) float64 {
+	if !m.started || now <= m.start {
+		return 0
+	}
+	return float64(m.total) / (now - m.start).Seconds()
+}
+
+// Governor implements FaaSMem's global bandwidth control for semi-warm
+// gradual offloading (paper §6.2): it watches aggregate offload rate on the
+// pool link and returns a uniform scale factor that containers apply to
+// their per-container offload speeds when the link nears its limit.
+type Governor struct {
+	pool *Pool
+	// Limit is the fraction of link bandwidth the gradual offloader may
+	// consume before throttling begins.
+	Limit float64
+}
+
+// NewGovernor creates a governor over pool with the given bandwidth budget
+// fraction (e.g. 0.7 = throttle when offload traffic passes 70% of the link).
+func NewGovernor(pool *Pool, limit float64) *Governor {
+	if limit <= 0 || limit > 1 {
+		limit = 0.7
+	}
+	return &Governor{pool: pool, Limit: limit}
+}
+
+// Scale returns the factor (0, 1] by which every semi-warm container should
+// multiply its offload rate right now. At or below the budget it is 1; past
+// the budget it shrinks proportionally so aggregate traffic converges to the
+// budget ("uniformly reduces the offload speed of all containers").
+func (g *Governor) Scale(now simtime.Time) float64 {
+	budget := g.Limit * float64(g.pool.cfg.Bandwidth)
+	rate := g.pool.meter[Offload].Rate(now)
+	if rate <= budget || rate == 0 {
+		return 1
+	}
+	return budget / rate
+}

@@ -1,0 +1,285 @@
+// Package rmem models the remote memory pool side of the architecture: a
+// memory node reachable over a high-bandwidth link (InfiniBand/RDMA in the
+// paper, ported Fastswap as the swap path).
+//
+// The model captures the two properties every experiment depends on:
+//
+//   - a demand fault on an offloaded page pays a fixed fetch latency that
+//     inflates request latency (and grows once the link saturates), and
+//   - bulk offload/recall traffic is limited by finite link bandwidth, which
+//     both serializes concurrent transfers and feeds the paper's bandwidth
+//     figures (Fig. 16, §9).
+//
+// All time is virtual (simtime.Time); the pool never blocks.
+package rmem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// Config describes a memory pool node and its link.
+type Config struct {
+	// Capacity is the pool's total bytes. Zero means unlimited.
+	Capacity int64
+	// Bandwidth is the link bandwidth in bytes per second. Defaults to a
+	// 56 Gbps InfiniBand-class link (the paper's Mellanox FDR setup).
+	Bandwidth int64
+	// FaultLatency is the base cost of an on-demand 4 KiB page fetch,
+	// including the kernel page-fault and swap-in path around the RDMA read
+	// (Fastswap's wire time is single-digit microseconds; the end-to-end
+	// fault costs more).
+	FaultLatency time.Duration
+	// SaturationFactor scales fault latency once link utilization passes
+	// SaturationPoint: latency multiplies by up to (1 + SaturationFactor).
+	// §9 of the paper: "little communication latency increase until the
+	// bandwidth is saturated".
+	SaturationFactor float64
+	// SaturationPoint is the utilization fraction (0..1] where queueing
+	// effects begin. Defaults to 0.8.
+	SaturationPoint float64
+	// FaultPipeline is the number of in-flight demand fetches the swap path
+	// sustains (Fastswap issues asynchronous RDMA reads). Batched faults pay
+	// FaultLatency once per pipeline-full of pages. Default 4.
+	FaultPipeline int
+	// MaxBacklog bounds how much transfer work may be queued on the link:
+	// an offload is truncated once completing it would push the link's
+	// backlog past this horizon. This is what makes a slow pool (the §9 SSD
+	// with ~1 MB/s durability-limited writes) genuinely unable to absorb
+	// offload traffic. Default 1 s.
+	MaxBacklog time.Duration
+}
+
+// DefaultConfig returns the 2-node CloudLab-like setup used by the paper:
+// 56 Gbps link, ~15 µs end-to-end page fault, 64 GiB pool.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:         64 << 30,
+		Bandwidth:        56_000_000_000 / 8, // 56 Gbps in bytes/s
+		FaultLatency:     15 * time.Microsecond,
+		SaturationFactor: 4,
+		SaturationPoint:  0.8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = d.Bandwidth
+	}
+	if c.FaultLatency <= 0 {
+		c.FaultLatency = d.FaultLatency
+	}
+	if c.SaturationPoint <= 0 || c.SaturationPoint > 1 {
+		c.SaturationPoint = d.SaturationPoint
+	}
+	if c.SaturationFactor <= 0 {
+		c.SaturationFactor = d.SaturationFactor
+	}
+	if c.FaultPipeline <= 0 {
+		c.FaultPipeline = 4
+	}
+	if c.MaxBacklog <= 0 {
+		c.MaxBacklog = time.Second
+	}
+	return c
+}
+
+// ErrPoolFull is returned when an offload would exceed pool capacity.
+var ErrPoolFull = errors.New("rmem: memory pool is full")
+
+// Direction labels a transfer for bandwidth accounting.
+type Direction int
+
+const (
+	// Offload is compute-node → pool traffic (page-out).
+	Offload Direction = iota
+	// Recall is pool → compute-node traffic (page-in).
+	Recall
+)
+
+// Pool is a remote memory node plus its link. Not safe for concurrent use;
+// the DES engine is single-threaded by design.
+type Pool struct {
+	cfg       Config
+	used      int64
+	busyUntil simtime.Time
+	meter     [2]*Meter // per direction
+}
+
+// NewPool creates a pool from cfg, applying defaults for zero fields.
+func NewPool(cfg Config) *Pool {
+	c := cfg.withDefaults()
+	return &Pool{
+		cfg:   c,
+		meter: [2]*Meter{NewMeter(time.Second), NewMeter(time.Second)},
+	}
+}
+
+// Used returns bytes currently stored in the pool.
+func (p *Pool) Used() int64 { return p.used }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (p *Pool) Capacity() int64 { return p.cfg.Capacity }
+
+// Config returns the effective configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Meter returns the bandwidth meter for a direction.
+func (p *Pool) Meter(d Direction) *Meter { return p.meter[d] }
+
+// transferTime returns how long moving n bytes takes at full bandwidth.
+func (p *Pool) transferTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / float64(p.cfg.Bandwidth) * float64(time.Second))
+}
+
+// reserve serializes a bulk transfer on the link, FIFO.
+func (p *Pool) reserve(now simtime.Time, bytes int64) (start, done simtime.Time) {
+	start = now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	done = start + p.transferTime(bytes)
+	p.busyUntil = done
+	return start, done
+}
+
+// AcceptableBytes reports how many bytes the link can accept for offload at
+// time now before its queued backlog exceeds MaxBacklog, additionally capped
+// by remaining pool capacity. Offloaders should truncate their batches to
+// this budget.
+func (p *Pool) AcceptableBytes(now simtime.Time) int64 {
+	slack := p.cfg.MaxBacklog
+	if p.busyUntil > now {
+		slack -= p.busyUntil - now
+	}
+	if slack <= 0 {
+		return 0
+	}
+	budget := int64(slack.Seconds() * float64(p.cfg.Bandwidth))
+	if p.cfg.Capacity > 0 {
+		if free := p.cfg.Capacity - p.used; free < budget {
+			budget = free
+		}
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// OffloadBytes moves bytes from a compute node into the pool. It returns the
+// virtual time at which the transfer completes, or ErrPoolFull if capacity
+// would be exceeded (pages then stay local; the paper leaves rescheduling of
+// this case as future work).
+func (p *Pool) OffloadBytes(now simtime.Time, bytes int64) (simtime.Time, error) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("rmem: negative offload %d", bytes))
+	}
+	if bytes == 0 {
+		return now, nil
+	}
+	if p.cfg.Capacity > 0 && p.used+bytes > p.cfg.Capacity {
+		return now, ErrPoolFull
+	}
+	p.used += bytes
+	_, done := p.reserve(now, bytes)
+	p.meter[Offload].Record(now, bytes)
+	return done, nil
+}
+
+// RecallBytes moves bytes back from the pool in bulk (e.g. prefetching a
+// semi-warm container's hot set). It returns the completion time.
+func (p *Pool) RecallBytes(now simtime.Time, bytes int64) simtime.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("rmem: negative recall %d", bytes))
+	}
+	if bytes == 0 {
+		return now
+	}
+	if bytes > p.used {
+		bytes = p.used
+	}
+	p.used -= bytes
+	_, done := p.reserve(now, bytes)
+	p.meter[Recall].Record(now, bytes)
+	return done
+}
+
+// Fault performs a demand fetch of pageBytes on a page fault. Faults bypass
+// the bulk FIFO (RDMA reads interleave with streaming writes) but slow down
+// as the link saturates. The returned latency is what the faulting request
+// observes; the page's bytes leave the pool.
+func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
+	if pageBytes < 0 {
+		panic("rmem: negative fault size")
+	}
+	if pageBytes > p.used {
+		pageBytes = p.used
+	}
+	p.used -= pageBytes
+	p.meter[Recall].Record(now, pageBytes)
+	lat := p.cfg.FaultLatency + p.transferTime(pageBytes)
+	util := p.Utilization(now)
+	if util > p.cfg.SaturationPoint {
+		over := (util - p.cfg.SaturationPoint) / (1 - p.cfg.SaturationPoint)
+		if over > 1 {
+			over = 1
+		}
+		lat += time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+	}
+	return lat
+}
+
+// FaultBatch performs n demand fetches of pageBytes each during one request
+// execution. Fetches pipeline FaultPipeline-deep, so the request observes
+// one FaultLatency per pipeline-full plus the wire time of the data, with
+// the same saturation inflation as single faults. The pages' bytes leave the
+// pool. It returns the total added latency the request observes.
+func (p *Pool) FaultBatch(now simtime.Time, n int, pageBytes int64) time.Duration {
+	if n < 0 || pageBytes < 0 {
+		panic("rmem: negative fault batch")
+	}
+	if n == 0 {
+		return 0
+	}
+	total := int64(n) * pageBytes
+	if total > p.used {
+		total = p.used
+	}
+	p.used -= total
+	p.meter[Recall].Record(now, total)
+	rounds := (n + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
+	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTime(total)
+	util := p.Utilization(now)
+	if util > p.cfg.SaturationPoint {
+		over := (util - p.cfg.SaturationPoint) / (1 - p.cfg.SaturationPoint)
+		if over > 1 {
+			over = 1
+		}
+		lat += time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+	}
+	return lat
+}
+
+// Discard drops bytes from the pool without a transfer — used when a
+// container is recycled and its remote pages are simply freed.
+func (p *Pool) Discard(bytes int64) {
+	if bytes > p.used {
+		bytes = p.used
+	}
+	p.used -= bytes
+}
+
+// Utilization estimates current link utilization in [0, 1+] from the recent
+// transfer rate in both directions.
+func (p *Pool) Utilization(now simtime.Time) float64 {
+	rate := p.meter[Offload].Rate(now) + p.meter[Recall].Rate(now)
+	return rate / float64(p.cfg.Bandwidth)
+}

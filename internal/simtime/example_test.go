@@ -1,0 +1,45 @@
+package simtime_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// Example shows the engine's deterministic event ordering: events fire by
+// time, ties by insertion order, and handlers can schedule follow-ups.
+func Example() {
+	e := simtime.NewEngine()
+	e.At(2*time.Second, func(e *simtime.Engine) {
+		fmt.Println("second event at", e.Now())
+	})
+	e.At(time.Second, func(e *simtime.Engine) {
+		fmt.Println("first event at", e.Now())
+		e.After(5*time.Second, func(e *simtime.Engine) {
+			fmt.Println("follow-up at", e.Now())
+		})
+	})
+	e.Run()
+	// Output:
+	// first event at 1s
+	// second event at 2s
+	// follow-up at 6s
+}
+
+// ExampleTicker demonstrates periodic callbacks with a stop condition.
+func ExampleTicker() {
+	e := simtime.NewEngine()
+	n := 0
+	var tk *simtime.Ticker
+	tk = simtime.NewTicker(e, time.Second, func(e *simtime.Engine) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	fmt.Println("fired", n, "times, ended at", e.Now())
+	// Output:
+	// fired 3 times, ended at 3s
+}

@@ -1,0 +1,225 @@
+// Package simtime provides the virtual clock and deterministic event queue
+// that drive every simulation in this repository.
+//
+// All experiments run in virtual time: an Engine owns a priority queue of
+// events ordered by (time, sequence number). Ties are broken by insertion
+// order, so a simulation with a fixed seed is fully deterministic and
+// repeatable. Nothing in this package touches the wall clock.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant on the virtual timeline, expressed as a
+// duration since the simulation epoch (t = 0). It intentionally reuses
+// time.Duration so that callers can write 5*time.Second for offsets.
+type Time = time.Duration
+
+// Func is a callback executed when an event fires. It receives the engine so
+// that handlers can schedule follow-up events.
+type Func func(e *Engine)
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     Func
+	index  int // heap index, -1 when not queued
+	fired  bool
+	cancel bool
+}
+
+// At reports when the event is (or was) scheduled to fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Pending reports whether the event is still queued and will fire.
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 && !ev.cancel }
+
+// eventQueue implements heap.Interface over events.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use and starts at time 0.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	closed bool
+}
+
+// NewEngine returns an engine positioned at virtual time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far, which is useful both
+// for tests and for loop-bound assertions in long simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at the absolute virtual time at. Scheduling in the past is
+// a programming error and panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn Func) *Event {
+	if fn == nil {
+		panic("simtime: nil event func")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn after delay d from the current time. Negative delays
+// clamp to zero so that jittered offsets cannot move into the past.
+func (e *Engine) After(d time.Duration, fn Func) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes ev from the queue if it has not fired. It is safe to cancel
+// a nil, fired, or already-cancelled event.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step executes the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.fired++
+		ev.fn(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with at <= deadline and then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancel {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Ticker repeatedly invokes a callback at a fixed virtual period until
+// stopped. It is the building block for periodic policies (TMO steps, DAMON
+// sampling, semi-warm gradual offload).
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	fn      Func
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+// period must be positive.
+func NewTicker(e *Engine, period time.Duration, fn Func) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, func(e *Engine) {
+		if t.stopped {
+			return
+		}
+		t.fn(e)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}

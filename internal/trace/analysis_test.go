@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAnalyzePeriodicFunction(t *testing.T) {
+	f := &Function{ID: "p", Invocations: secs(0, 10, 20, 30, 40)}
+	a := Analyze(f, time.Minute)
+	if a.Invocations != 5 {
+		t.Fatalf("invocations = %d", a.Invocations)
+	}
+	if a.MeanGap != 10*time.Second || a.GapStddev != 0 {
+		t.Fatalf("gaps = %v ± %v", a.MeanGap, a.GapStddev)
+	}
+	if a.CV != 0 {
+		t.Fatalf("CV = %v, want 0 for periodic", a.CV)
+	}
+	// Perfectly periodic → burstiness -1.
+	if a.Burstiness != -1 {
+		t.Fatalf("burstiness = %v, want -1", a.Burstiness)
+	}
+}
+
+func TestAnalyzeBurstyExceedsSmooth(t *testing.T) {
+	smooth := GenerateFunction("s", 6*time.Hour, 30*time.Second, false, 3)
+	bursty := GenerateFunction("b", 6*time.Hour, 30*time.Second, true, 3)
+	as := Analyze(smooth, 6*time.Hour)
+	ab := Analyze(bursty, 6*time.Hour)
+	if ab.Burstiness <= as.Burstiness {
+		t.Fatalf("bursty burstiness %v <= smooth %v", ab.Burstiness, as.Burstiness)
+	}
+	if ab.PeakToMean <= as.PeakToMean {
+		t.Fatalf("bursty peak/mean %v <= smooth %v", ab.PeakToMean, as.PeakToMean)
+	}
+	// Poisson-ish arrivals sit near burstiness 0.
+	if math.Abs(as.Burstiness) > 0.35 {
+		t.Fatalf("smooth burstiness = %v, want near 0", as.Burstiness)
+	}
+}
+
+func TestAnalyzeEmptyFunction(t *testing.T) {
+	a := Analyze(&Function{ID: "e"}, time.Hour)
+	if a.Invocations != 0 || a.CV != 0 || a.PeakToMean != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeTraceCoversAll(t *testing.T) {
+	tr := Generate(GenConfig{NumFunctions: 12, Duration: 2 * time.Hour}, 8)
+	as := AnalyzeTrace(tr)
+	if len(as) != 12 {
+		t.Fatalf("analyses = %d", len(as))
+	}
+	for i, a := range as {
+		if a.Invocations != len(tr.Functions[i].Invocations) {
+			t.Fatalf("analysis %d count mismatch", i)
+		}
+	}
+}
+
+func TestPeakToMeanDegenerate(t *testing.T) {
+	if got := peakToMean(nil, time.Hour, time.Minute); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := peakToMean(secs(1), 0, time.Minute); got != 0 {
+		t.Fatalf("zero window = %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// This file imports the real Azure Functions Invocation Trace 2021 format,
+// so users holding the (non-redistributable) dataset can replay it instead
+// of the synthetic generator. The published CSV has one row per invocation:
+//
+//	app,func,end_timestamp,duration
+//
+// where end_timestamp and duration are fractional seconds relative to the
+// trace start. A header row is tolerated. Invocation start = end - duration.
+
+// AzureRow is one parsed invocation record.
+type AzureRow struct {
+	App      string
+	Func     string
+	Start    simtime.Time
+	Duration time.Duration
+}
+
+// ReadAzureCSV parses the Azure Functions Invocation Trace 2021 CSV format
+// from r into a Trace, grouping rows by function hash. Functions keep their
+// invocation start times; per-row durations are returned alongside so
+// callers can build duration-faithful replays.
+func ReadAzureCSV(r io.Reader) (*Trace, map[string][]time.Duration, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate per-row below; tolerate ragged header
+	byFunc := make(map[string][]AzureRow)
+	var maxEnd simtime.Time
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: azure csv: %w", err)
+		}
+		line++
+		if len(rec) < 4 {
+			return nil, nil, fmt.Errorf("trace: azure csv line %d: %d fields, want 4", line, len(rec))
+		}
+		end, err1 := strconv.ParseFloat(rec[2], 64)
+		dur, err2 := strconv.ParseFloat(rec[3], 64)
+		if err1 != nil || err2 != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, nil, fmt.Errorf("trace: azure csv line %d: bad numbers %q/%q", line, rec[2], rec[3])
+		}
+		if dur < 0 || end < 0 {
+			return nil, nil, fmt.Errorf("trace: azure csv line %d: negative time", line)
+		}
+		start := end - dur
+		if start < 0 {
+			start = 0
+		}
+		row := AzureRow{
+			App:      rec[0],
+			Func:     rec[1],
+			Start:    simtime.Time(start * float64(time.Second)),
+			Duration: time.Duration(dur * float64(time.Second)),
+		}
+		byFunc[row.Func] = append(byFunc[row.Func], row)
+		if e := simtime.Time(end * float64(time.Second)); e > maxEnd {
+			maxEnd = e
+		}
+	}
+	if len(byFunc) == 0 {
+		return nil, nil, fmt.Errorf("trace: azure csv: no invocations")
+	}
+
+	tr := &Trace{Duration: maxEnd + time.Second}
+	durations := make(map[string][]time.Duration, len(byFunc))
+	ids := make([]string, 0, len(byFunc))
+	for id := range byFunc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic function order
+	for _, id := range ids {
+		rows := byFunc[id]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Start < rows[j].Start })
+		f := &Function{ID: id}
+		for _, row := range rows {
+			f.Invocations = append(f.Invocations, row.Start)
+			durations[id] = append(durations[id], row.Duration)
+		}
+		tr.Functions = append(tr.Functions, f)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return tr, durations, nil
+}
+
+// LoadAzureCSV reads an Azure-format trace file.
+func LoadAzureCSV(path string) (*Trace, map[string][]time.Duration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: azure csv: %w", err)
+	}
+	defer f.Close()
+	return ReadAzureCSV(f)
+}
+
+// MeanDuration averages a function's recorded execution durations; zero if
+// none.
+func MeanDuration(durations []time.Duration) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range durations {
+		sum += d
+	}
+	return sum / time.Duration(len(durations))
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleAzureCSV = `app,func,end_timestamp,duration
+appA,funcX,10.5,0.5
+appA,funcX,20.0,1.0
+appA,funcY,5.25,0.25
+appB,funcZ,100.0,2.0
+`
+
+func TestReadAzureCSV(t *testing.T) {
+	tr, durs, err := ReadAzureCSV(strings.NewReader(sampleAzureCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Functions) != 3 {
+		t.Fatalf("functions = %d, want 3", len(tr.Functions))
+	}
+	if tr.TotalInvocations() != 4 {
+		t.Fatalf("invocations = %d, want 4", tr.TotalInvocations())
+	}
+	x := tr.Find("funcX")
+	if x == nil || len(x.Invocations) != 2 {
+		t.Fatalf("funcX = %+v", x)
+	}
+	// Start = end - duration.
+	if x.Invocations[0] != 10*time.Second {
+		t.Errorf("funcX first start = %v, want 10s", x.Invocations[0])
+	}
+	if x.Invocations[1] != 19*time.Second {
+		t.Errorf("funcX second start = %v, want 19s", x.Invocations[1])
+	}
+	if got := durs["funcX"]; len(got) != 2 || got[0] != 500*time.Millisecond {
+		t.Errorf("funcX durations = %v", got)
+	}
+	// Window covers the last end timestamp.
+	if tr.Duration < 100*time.Second {
+		t.Errorf("duration = %v, want >= 100s", tr.Duration)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAzureCSVHeaderless(t *testing.T) {
+	tr, _, err := ReadAzureCSV(strings.NewReader("a,f,1.0,0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalInvocations() != 1 {
+		t.Fatalf("invocations = %d", tr.TotalInvocations())
+	}
+}
+
+func TestReadAzureCSVSortsUnorderedRows(t *testing.T) {
+	csv := "a,f,20.0,1.0\na,f,5.0,1.0\n"
+	tr, _, err := ReadAzureCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := tr.Find("f").Invocations
+	if inv[0] != 4*time.Second || inv[1] != 19*time.Second {
+		t.Fatalf("invocations not sorted: %v", inv)
+	}
+}
+
+func TestReadAzureCSVClampsNegativeStart(t *testing.T) {
+	// duration > end: start clamps to 0.
+	tr, _, err := ReadAzureCSV(strings.NewReader("a,f,1.0,5.0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Find("f").Invocations[0] != 0 {
+		t.Fatal("start not clamped to 0")
+	}
+}
+
+func TestReadAzureCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"a,f\n",               // too few fields
+		"a,f,xx,0.5\na,b,c\n", // bad number beyond header tolerance
+		"a,f,1.0,-2.0\n",      // negative duration
+		"app,func,end,dur\n",  // header only, no data
+	}
+	for i, c := range cases {
+		if _, _, err := ReadAzureCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestLoadAzureCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "azure.csv")
+	if err := writeFile(path, sampleAzureCSV); err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := LoadAzureCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalInvocations() != 4 {
+		t.Fatalf("invocations = %d", tr.TotalInvocations())
+	}
+	if _, _, err := LoadAzureCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if MeanDuration(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	got := MeanDuration([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Errorf("mean = %v, want 2s", got)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

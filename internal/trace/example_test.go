@@ -1,0 +1,33 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/trace"
+)
+
+// Example generates an Azure-like trace and reads off the statistics the
+// paper's Figures 1 and 5 are built from.
+func Example() {
+	tr := trace.Generate(trace.GenConfig{NumFunctions: 50, Duration: 4 * time.Hour}, 7)
+	res := trace.SimulateTraceKeepAlive(tr, 500*time.Millisecond, 10*time.Minute)
+	fmt.Printf("functions: %d\n", len(tr.Functions))
+	fmt.Printf("inactive fraction at 10m keep-alive: %.0f%%\n", res.InactiveFraction()*100)
+	fmt.Printf("cold-start ratio: %.1f%%\n", res.ColdStartRatio()*100)
+	// Output:
+	// functions: 50
+	// inactive fraction at 10m keep-alive: 96%
+	// cold-start ratio: 0.3%
+}
+
+// ExampleGenerateFunction builds one function's timeline for focused
+// experiments.
+func ExampleGenerateFunction() {
+	f := trace.GenerateFunction("demo", time.Hour, 30*time.Second, false, 3)
+	a := trace.Analyze(f, time.Hour)
+	fmt.Printf("class: %v, burstiness near Poisson: %v\n",
+		a.Class, a.Burstiness > -0.4 && a.Burstiness < 0.4)
+	// Output:
+	// class: high, burstiness near Poisson: true
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAzureCSV ensures arbitrary CSV input never panics the importer and
+// that accepted traces always validate.
+func FuzzReadAzureCSV(f *testing.F) {
+	f.Add(sampleAzureCSV)
+	f.Add("a,f,1.0,0.5\n")
+	f.Add("")
+	f.Add("a,f\n")
+	f.Add("a,f,nan,inf\n")
+	f.Add("a,f,-1,0\n")
+	f.Add(strings.Repeat("x,y,1,1\n", 100))
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, _, err := ReadAzureCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzReadTraceJSON ensures the JSON loader never panics and only returns
+// valid traces.
+func FuzzReadTraceJSON(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Generate(GenConfig{NumFunctions: 2, Duration: 1e9}, 1).Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"duration": -1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"duration": 100, "functions": [{"id":"a","invocations":[5,3]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+	})
+}

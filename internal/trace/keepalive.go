@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// KeepAliveResult summarizes a keep-alive container-pool simulation of one
+// function's timeline — the analytic behind the paper's Figures 1, 5 and 14
+// and the semi-warm timing data of §6.1.
+type KeepAliveResult struct {
+	// ColdStarts counts requests that found no idle warm container.
+	ColdStarts int
+	// WarmStarts counts requests served by an idle warm container.
+	WarmStarts int
+	// ActiveTime is total container time spent executing requests.
+	ActiveTime time.Duration
+	// InactiveTime is total container time spent idle in keep-alive.
+	InactiveTime time.Duration
+	// RequestsPerContainer lists how many requests each container served.
+	RequestsPerContainer []int
+	// ReusedIntervals lists, for every warm start, how long the container
+	// had been idle when the request arrived (the "container reused
+	// interval" distribution of §6.1).
+	ReusedIntervals []time.Duration
+	// ContainerLifetimes lists each container's total lifetime from launch
+	// to recycling.
+	ContainerLifetimes []time.Duration
+}
+
+// Lifetime is active plus inactive container time.
+func (r KeepAliveResult) Lifetime() time.Duration { return r.ActiveTime + r.InactiveTime }
+
+// InactiveFraction is the share of container lifetime spent idle — the
+// paper's "memory inactive time" (89.2% at a 10-minute timeout).
+func (r KeepAliveResult) InactiveFraction() float64 {
+	lt := r.Lifetime()
+	if lt == 0 {
+		return 0
+	}
+	return float64(r.InactiveTime) / float64(lt)
+}
+
+// ColdStartRatio is the fraction of requests that cold-started.
+func (r KeepAliveResult) ColdStartRatio() float64 {
+	total := r.ColdStarts + r.WarmStarts
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(total)
+}
+
+// Merge accumulates other into r.
+func (r *KeepAliveResult) Merge(other KeepAliveResult) {
+	r.ColdStarts += other.ColdStarts
+	r.WarmStarts += other.WarmStarts
+	r.ActiveTime += other.ActiveTime
+	r.InactiveTime += other.InactiveTime
+	r.RequestsPerContainer = append(r.RequestsPerContainer, other.RequestsPerContainer...)
+	r.ReusedIntervals = append(r.ReusedIntervals, other.ReusedIntervals...)
+	r.ContainerLifetimes = append(r.ContainerLifetimes, other.ContainerLifetimes...)
+}
+
+// container tracks one simulated container's occupancy.
+type kaContainer struct {
+	busyUntil simtime.Time // executing until then
+	idleSince simtime.Time // start of current idle period (== busyUntil)
+	launched  simtime.Time
+	requests  int
+	active    time.Duration
+}
+
+// SimulateKeepAlive replays one function's invocations against an elastic
+// container pool with the given execution time per request and keep-alive
+// timeout. Requests that find an idle warm container reuse it (earliest-idle
+// first, matching typical FIFO reuse); otherwise a new container launches.
+// Idle containers are recycled after timeout.
+func SimulateKeepAlive(invocations []simtime.Time, execTime, timeout time.Duration) KeepAliveResult {
+	var res KeepAliveResult
+	var pool []*kaContainer // containers, alive
+
+	retire := func(c *kaContainer, at simtime.Time) {
+		res.ActiveTime += c.active
+		res.InactiveTime += (at - c.launched) - c.active
+		res.RequestsPerContainer = append(res.RequestsPerContainer, c.requests)
+		res.ContainerLifetimes = append(res.ContainerLifetimes, at-c.launched)
+	}
+
+	for _, at := range invocations {
+		// Expire idle containers whose keep-alive lapsed before this request.
+		alive := pool[:0]
+		for _, c := range pool {
+			if c.busyUntil <= at && at-c.idleSince > timeout {
+				retire(c, c.idleSince+timeout)
+				continue
+			}
+			alive = append(alive, c)
+		}
+		pool = alive
+
+		// Pick the idle container that has waited longest.
+		var pick *kaContainer
+		for _, c := range pool {
+			if c.busyUntil <= at && (pick == nil || c.idleSince < pick.idleSince) {
+				pick = c
+			}
+		}
+		if pick != nil {
+			res.WarmStarts++
+			res.ReusedIntervals = append(res.ReusedIntervals, (at - pick.idleSince))
+		} else {
+			res.ColdStarts++
+			pick = &kaContainer{launched: at}
+			pool = append(pool, pick)
+		}
+		pick.requests++
+		pick.active += execTime
+		pick.busyUntil = at + execTime
+		pick.idleSince = pick.busyUntil
+	}
+
+	// Drain: every surviving container idles out after its timeout.
+	for _, c := range pool {
+		end := c.idleSince + timeout
+		retire(c, end)
+	}
+	return res
+}
+
+// SimulateTraceKeepAlive runs SimulateKeepAlive for every function and
+// merges the results.
+func SimulateTraceKeepAlive(t *Trace, execTime, timeout time.Duration) KeepAliveResult {
+	return SimulateTraceKeepAliveFunc(t, func(int, *Function) time.Duration { return execTime }, timeout)
+}
+
+// SimulateTraceKeepAliveFunc is SimulateTraceKeepAlive with a per-function
+// execution time, for traces whose functions have heterogeneous durations
+// (the Azure trace's durations span milliseconds to minutes, which shapes
+// the Fig. 1 inactive-time curve at short keep-alive timeouts).
+func SimulateTraceKeepAliveFunc(t *Trace, execOf func(i int, f *Function) time.Duration, timeout time.Duration) KeepAliveResult {
+	var res KeepAliveResult
+	for i, f := range t.Functions {
+		res.Merge(SimulateKeepAlive(f.Invocations, execOf(i, f), timeout))
+	}
+	return res
+}
+
+// ReusedIntervalPercentile returns the p-th percentile of the reused
+// intervals (p in [0,100]); zero if there are none. FaaSMem's semi-warm
+// timing uses the 99th percentile of this distribution.
+func ReusedIntervalPercentile(intervals []time.Duration, p float64) time.Duration {
+	if len(intervals) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(intervals))
+	copy(s, intervals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

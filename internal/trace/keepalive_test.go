@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestKeepAliveAllCold(t *testing.T) {
+	// Gaps far exceed the timeout: every request cold-starts its own container.
+	inv := secs(0, 1000, 2000)
+	res := SimulateKeepAlive(inv, time.Second, 10*time.Second)
+	if res.ColdStarts != 3 || res.WarmStarts != 0 {
+		t.Fatalf("cold/warm = %d/%d, want 3/0", res.ColdStarts, res.WarmStarts)
+	}
+	if len(res.RequestsPerContainer) != 3 {
+		t.Fatalf("containers = %d, want 3", len(res.RequestsPerContainer))
+	}
+	for _, n := range res.RequestsPerContainer {
+		if n != 1 {
+			t.Fatalf("requests per container = %d, want 1", n)
+		}
+	}
+	if res.ColdStartRatio() != 1 {
+		t.Fatalf("cold ratio = %v, want 1", res.ColdStartRatio())
+	}
+}
+
+func TestKeepAliveAllWarm(t *testing.T) {
+	inv := secs(0, 5, 10, 15)
+	res := SimulateKeepAlive(inv, time.Second, time.Minute)
+	if res.ColdStarts != 1 || res.WarmStarts != 3 {
+		t.Fatalf("cold/warm = %d/%d, want 1/3", res.ColdStarts, res.WarmStarts)
+	}
+	if len(res.RequestsPerContainer) != 1 || res.RequestsPerContainer[0] != 4 {
+		t.Fatalf("requests per container = %v, want [4]", res.RequestsPerContainer)
+	}
+	// Reused intervals: requests at 5,10,15 each found the container idle
+	// since completion of the previous request (gap - exec = 4s).
+	if len(res.ReusedIntervals) != 3 {
+		t.Fatalf("reused intervals = %v", res.ReusedIntervals)
+	}
+	for _, ri := range res.ReusedIntervals {
+		if ri != 4*time.Second {
+			t.Fatalf("reused interval = %v, want 4s", ri)
+		}
+	}
+}
+
+func TestKeepAliveAccounting(t *testing.T) {
+	// Single request: active 1s, then idles out after 10s.
+	res := SimulateKeepAlive(secs(0), time.Second, 10*time.Second)
+	if res.ActiveTime != time.Second {
+		t.Errorf("ActiveTime = %v, want 1s", res.ActiveTime)
+	}
+	if res.InactiveTime != 10*time.Second {
+		t.Errorf("InactiveTime = %v, want 10s", res.InactiveTime)
+	}
+	if res.Lifetime() != 11*time.Second {
+		t.Errorf("Lifetime = %v, want 11s", res.Lifetime())
+	}
+	want := 10.0 / 11.0
+	if math.Abs(res.InactiveFraction()-want) > 1e-9 {
+		t.Errorf("InactiveFraction = %v, want %v", res.InactiveFraction(), want)
+	}
+	if len(res.ContainerLifetimes) != 1 || res.ContainerLifetimes[0] != 11*time.Second {
+		t.Errorf("ContainerLifetimes = %v", res.ContainerLifetimes)
+	}
+}
+
+func TestKeepAliveConcurrentRequestsNeedMoreContainers(t *testing.T) {
+	// Two requests at the same instant with 10s exec: needs two containers.
+	inv := secs(0, 0.5)
+	res := SimulateKeepAlive(inv, 10*time.Second, time.Minute)
+	if res.ColdStarts != 2 {
+		t.Fatalf("cold starts = %d, want 2 (overlapping execs)", res.ColdStarts)
+	}
+}
+
+func TestKeepAliveExpiryBoundary(t *testing.T) {
+	// Second request arrives exactly at timeout after idle start: still warm
+	// (expiry is strict >).
+	inv := secs(0, 11)
+	res := SimulateKeepAlive(inv, time.Second, 10*time.Second)
+	if res.WarmStarts != 1 {
+		t.Fatalf("warm = %d, want 1 at exact boundary", res.WarmStarts)
+	}
+	// Just past the boundary: cold.
+	inv2 := secs(0, 11.001)
+	res2 := SimulateKeepAlive(inv2, time.Second, 10*time.Second)
+	if res2.ColdStarts != 2 {
+		t.Fatalf("cold = %d, want 2 past boundary", res2.ColdStarts)
+	}
+}
+
+func TestKeepAliveLongerTimeoutFewerColds(t *testing.T) {
+	f := GenerateFunction("f", 6*time.Hour, 2*time.Minute, false, 13)
+	short := SimulateKeepAlive(f.Invocations, time.Second, 10*time.Second)
+	long := SimulateKeepAlive(f.Invocations, time.Second, 10*time.Minute)
+	if long.ColdStartRatio() >= short.ColdStartRatio() {
+		t.Errorf("longer timeout should reduce cold ratio: %v vs %v",
+			long.ColdStartRatio(), short.ColdStartRatio())
+	}
+	if long.InactiveFraction() <= short.InactiveFraction() {
+		t.Errorf("longer timeout should increase inactive fraction: %v vs %v",
+			long.InactiveFraction(), short.InactiveFraction())
+	}
+}
+
+func TestKeepAliveEmpty(t *testing.T) {
+	res := SimulateKeepAlive(nil, time.Second, time.Minute)
+	if res.ColdStarts != 0 || res.Lifetime() != 0 || res.ColdStartRatio() != 0 || res.InactiveFraction() != 0 {
+		t.Fatal("empty invocation list should produce zero result")
+	}
+}
+
+func TestSimulateTraceKeepAliveMerges(t *testing.T) {
+	tr := &Trace{Duration: time.Hour, Functions: []*Function{
+		{ID: "a", Invocations: secs(0)},
+		{ID: "b", Invocations: secs(0)},
+	}}
+	res := SimulateTraceKeepAlive(tr, time.Second, 10*time.Second)
+	if res.ColdStarts != 2 {
+		t.Fatalf("merged cold starts = %d, want 2", res.ColdStarts)
+	}
+	if len(res.RequestsPerContainer) != 2 {
+		t.Fatalf("merged containers = %d", len(res.RequestsPerContainer))
+	}
+}
+
+func TestReusedIntervalPercentile(t *testing.T) {
+	var iv []time.Duration
+	for i := 1; i <= 100; i++ {
+		iv = append(iv, time.Duration(i)*time.Second)
+	}
+	if got := ReusedIntervalPercentile(iv, 99); got != 99*time.Second {
+		t.Errorf("P99 = %v, want 99s", got)
+	}
+	if got := ReusedIntervalPercentile(iv, 0); got != time.Second {
+		t.Errorf("P0 = %v, want 1s", got)
+	}
+	if got := ReusedIntervalPercentile(nil, 99); got != 0 {
+		t.Errorf("empty P99 = %v, want 0", got)
+	}
+	// Input must not be mutated (sorted copy).
+	shuffled := []time.Duration{3 * time.Second, 1 * time.Second, 2 * time.Second}
+	ReusedIntervalPercentile(shuffled, 50)
+	if shuffled[0] != 3*time.Second {
+		t.Error("percentile sorted the caller's slice")
+	}
+}
+
+// TestFig1Shape checks the headline trace analytic: with a 10-minute
+// keep-alive the inactive fraction is very high (the paper reports 89.2%),
+// and with 1 minute it is still above 50% (paper: 70.1%).
+func TestFig1Shape(t *testing.T) {
+	tr := Generate(GenConfig{NumFunctions: 100, Duration: 12 * time.Hour}, 21)
+	r10m := SimulateTraceKeepAlive(tr, 500*time.Millisecond, 10*time.Minute)
+	r1m := SimulateTraceKeepAlive(tr, 500*time.Millisecond, time.Minute)
+	if r10m.InactiveFraction() < 0.75 {
+		t.Errorf("10m inactive fraction = %v, want > 0.75", r10m.InactiveFraction())
+	}
+	if r1m.InactiveFraction() < 0.5 {
+		t.Errorf("1m inactive fraction = %v, want > 0.5", r1m.InactiveFraction())
+	}
+	if r10m.InactiveFraction() <= r1m.InactiveFraction() {
+		t.Error("longer keep-alive must increase inactive fraction")
+	}
+}
+
+// TestFig5Shape: a majority of containers handle only a few requests.
+func TestFig5Shape(t *testing.T) {
+	tr := Generate(GenConfig{NumFunctions: 200, Duration: 12 * time.Hour}, 22)
+	res := SimulateTraceKeepAlive(tr, 500*time.Millisecond, 10*time.Minute)
+	if len(res.RequestsPerContainer) == 0 {
+		t.Fatal("no containers simulated")
+	}
+	atMost2 := 0
+	for _, n := range res.RequestsPerContainer {
+		if n <= 2 {
+			atMost2++
+		}
+	}
+	frac := float64(atMost2) / float64(len(res.RequestsPerContainer))
+	// The paper reports ~60%; accept a generous band for the synthetic trace.
+	if frac < 0.3 {
+		t.Errorf("containers with ≤2 requests = %.0f%%, want a substantial share", frac*100)
+	}
+}
