@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments experiments-quick examples clean
+.PHONY: all build test vet bench experiments experiments-quick examples trace-demo clean
 
 all: build vet test
 
@@ -33,6 +33,10 @@ experiments-quick:
 results:
 	$(GO) run ./cmd/experiments -seed 42 -json results -svg results
 
+# Record a 3-function run and export a Perfetto-loadable trace.
+trace-demo:
+	$(GO) run ./examples/tracing faasmem-trace.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/mlinference
@@ -42,4 +46,4 @@ examples:
 	$(GO) run ./examples/sweep > /dev/null
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt faasmem-trace.json

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/telemetry"
 )
 
 // job is one experiment: it returns its rows (for -json) and optional SVG
@@ -42,6 +43,8 @@ func main() {
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
 	svgDir := flag.String("svg", "", "also write SVG charts of the main figures into this directory (like the artifact's draw scripts)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "number of experiments to run concurrently")
+	traceOut := flag.String("trace-out", "", "record every harness's simulation events into one Chrome trace-event JSON file; most useful with -only naming a single experiment (parallel experiments interleave in the shared ring)")
+	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity for -trace-out")
 	flag.Parse()
 
 	for _, dir := range []string{*jsonDir, *svgDir} {
@@ -57,6 +60,14 @@ func main() {
 			return quickv
 		}
 		return full
+	}
+
+	// Experiment harnesses pick up the process-default hub (Scenario.Telemetry
+	// falls back to it), so one flag traces every figure without plumbing.
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(*traceBuffer)
+		telemetry.SetDefault(telemetry.Hub{Tracer: tracer, Reg: telemetry.NewRegistry()})
 	}
 
 	jobs := buildJobs(*seed, *quick, scale)
@@ -111,6 +122,14 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if tracer != nil {
+		if err := telemetry.WriteChromeTraceFile(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events (%d dropped) written to %s — open in https://ui.perfetto.dev\n",
+			tracer.Total(), tracer.Dropped(), *traceOut)
 	}
 }
 

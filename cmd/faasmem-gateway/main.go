@@ -5,6 +5,7 @@
 //	curl -s localhost:8080/benchmarks | jq '.[].Name'
 //	curl -s -XPOST localhost:8080/run -d '{"bench":"bert","policy":"faasmem"}'
 //	curl -s -XPOST localhost:8080/experiments/fig12 | jq .
+//	curl -s localhost:8080/metrics       # Prometheus text format, aggregated over all runs
 package main
 
 import (

@@ -8,6 +8,7 @@
 //	faasmem-sim -bench web -compare
 //	faasmem-sim -profiles my-profiles.json -bench mysvc -policy faasmem
 //	faasmem-sim -azure trace.csv -policy faasmem     # busiest trace function
+//	faasmem-sim -bench web -trace-out trace.json     # Perfetto-loadable trace
 //
 // Policies: baseline, tmo, damon, faasmem, faasmem-w/o-pucket,
 // faasmem-w/o-semiwarm.
@@ -22,7 +23,9 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/report"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -38,6 +41,9 @@ func main() {
 	compare := flag.Bool("compare", false, "run every policy on the same trace and print a comparison table")
 	profilesPath := flag.String("profiles", "", "JSON file with extra workload profiles (see workload.WriteProfiles)")
 	azurePath := flag.String("azure", "", "replay the busiest function of a real Azure Functions Invocation Trace 2021 CSV instead of generating arrivals")
+	traceDump := flag.Bool("trace", false, "record simulation events and dump them human-readably after the run")
+	traceOut := flag.String("trace-out", "", "record simulation events and write a Chrome trace-event JSON file (load in https://ui.perfetto.dev)")
+	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity; oldest events drop beyond this")
 	flag.Parse()
 	benchPinned := false
 	flag.Visit(func(f *flag.Flag) {
@@ -109,6 +115,13 @@ func main() {
 		}
 		return
 	}
+	var hub telemetry.Hub
+	if *traceDump || *traceOut != "" {
+		hub = telemetry.Hub{
+			Tracer: telemetry.NewTracer(*traceBuffer),
+			Reg:    telemetry.NewRegistry(),
+		}
+	}
 	out := experiments.RunScenario(experiments.Scenario{
 		Profile:     prof,
 		Invocations: fn.Invocations,
@@ -117,13 +130,16 @@ func main() {
 		Policy:      kind,
 		SeedHistory: true,
 		Seed:        *seed,
+		Telemetry:   hub,
 	})
 
+	ok := out.Requests > 0
 	fmt.Printf("benchmark        %s (%s policy)\n", prof.Name, kind)
 	fmt.Printf("requests         %d  (cold %d, warm %d, semi-warm %d)\n",
 		out.Requests, out.ColdStarts, out.WarmStarts, out.SemiWarmStarts)
-	fmt.Printf("latency          avg %.3fs  P50 %.3fs  P95 %.3fs  P99 %.3fs\n",
-		out.AvgLat, out.P50, out.P95, out.P99)
+	fmt.Printf("latency          avg %s  P50 %s  P95 %s  P99 %s\n",
+		report.Stat("%.3fs", out.AvgLat, ok), report.Stat("%.3fs", out.P50, ok),
+		report.Stat("%.3fs", out.P95, ok), report.Stat("%.3fs", out.P99, ok))
 	fmt.Printf("local memory     avg %.1f MB  peak %.1f MB\n", out.AvgLocalMB, out.PeakLocalMB)
 	fmt.Printf("remote memory    avg %.1f MB\n", out.AvgRemoteMB)
 	fmt.Printf("pool traffic     offloaded %.1f MB (%.3f MB/s)  recalled %.1f MB (%.3f MB/s)\n",
@@ -132,6 +148,25 @@ func main() {
 	if cs := out.CoreStats; cs != nil {
 		fmt.Printf("faasmem          runtime offloads %d, init offloads %d, rollbacks %d, semi-warm entries %d\n",
 			cs.RuntimeOffloads, cs.InitOffloads, cs.Rollbacks, cs.SemiWarmEntries)
+	}
+
+	if tr := hub.Tracer; tr != nil {
+		fmt.Printf("telemetry        %d events recorded (%d dropped by the %d-event ring)\n",
+			tr.Total(), tr.Dropped(), *traceBuffer)
+		if *traceOut != "" {
+			if err := telemetry.WriteChromeTraceFile(*traceOut, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written    %s  (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+		}
+		if *traceDump {
+			fmt.Println()
+			if err := telemetry.WriteText(os.Stdout, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 )
 
 // Config tunes FaaSMem. The zero value plus defaults reproduces the paper's
@@ -419,6 +420,11 @@ func (c *container) fixWindowAndOffload(e *simtime.Engine, n int) {
 	c.window = n
 	c.initOffloaded = true
 	c.parent.stat.WindowSizes = append(c.parent.stat.WindowSizes, n)
+	c.view.Trace().Record(telemetry.Event{
+		At: e.Now(), Kind: telemetry.KindWindowFixed,
+		Actor: c.view.ID(), Fn: c.view.FunctionID(),
+		Stage: telemetry.StageInit, Value: int64(n),
+	})
 	if c.initPucket().OffloadInactive(e, c.view) > 0 {
 		c.parent.stat.InitOffloads++
 	}
@@ -447,7 +453,7 @@ func (c *container) rollbackCycle(e *simtime.Engine, n int) {
 		return
 	}
 	if c.reqsSinceRB >= w && e.Now()-c.lastRB >= c.cfg.RollbackMinInterval {
-		c.rollback()
+		c.rollback(e)
 		c.rollbackArmed = true
 		c.reqsSinceRB = 0
 		c.parent.stat.Rollbacks++
@@ -457,11 +463,15 @@ func (c *container) rollbackCycle(e *simtime.Engine, n int) {
 // rollback demotes every hot-pool page of the Runtime and Init Puckets back
 // to its original Pucket (original = containing range, since Puckets are
 // contiguous allocation epochs).
-func (c *container) rollback() {
+func (c *container) rollback(e *simtime.Engine) {
 	s := c.view.Space()
 	lru := c.view.LRU()
-	c.runtimePucket().Rollback(s, lru)
-	c.initPucket().Rollback(s, lru)
+	n := c.runtimePucket().Rollback(s, lru)
+	n += c.initPucket().Rollback(s, lru)
+	c.view.Trace().Record(telemetry.Event{
+		At: e.Now(), Kind: telemetry.KindRollback,
+		Actor: c.view.ID(), Fn: c.view.FunctionID(), Value: int64(n),
+	})
 }
 
 // Idle implements policy.ContainerPolicy: schedule the semi-warm period.
@@ -482,6 +492,11 @@ func (c *container) startSemiWarm(e *simtime.Engine) {
 	c.semiWarm = true
 	c.semiWarmFrom = e.Now()
 	c.parent.stat.SemiWarmEntries++
+	c.view.Trace().Record(telemetry.Event{
+		At: e.Now(), Kind: telemetry.KindSemiWarmEnter,
+		Actor: c.view.ID(), Fn: c.view.FunctionID(),
+		Value: c.view.Space().LocalBytes(),
+	})
 	c.semiWarmTick = simtime.NewTicker(e, c.cfg.OffloadTick, c.gradualOffload)
 }
 
@@ -538,6 +553,12 @@ func (c *container) stopSemiWarm(e *simtime.Engine) {
 	if c.semiWarm {
 		c.semiWarmTime += e.Now() - c.semiWarmFrom
 		c.semiWarm = false
+		c.view.Trace().Record(telemetry.Event{
+			At: c.semiWarmFrom, Dur: time.Duration(e.Now() - c.semiWarmFrom),
+			Kind:  telemetry.KindSemiWarmExit,
+			Actor: c.view.ID(), Fn: c.view.FunctionID(),
+			Value: c.view.Space().RemoteBytes(),
+		})
 	}
 	c.stopTicker()
 }

@@ -5,6 +5,7 @@ import (
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 )
 
 // Pucket (Page Bucket) is the paper's §4 structure: a contiguous page range
@@ -41,7 +42,27 @@ func (p Pucket) OffloadInactive(e *simtime.Engine, v policy.View) int {
 	if len(ids) == 0 {
 		return 0
 	}
-	return v.OffloadPages(e, ids)
+	moved := v.OffloadPages(e, ids)
+	if moved > 0 {
+		v.Trace().Record(telemetry.Event{
+			At: e.Now(), Kind: telemetry.KindPucketOffload,
+			Actor: v.ID(), Fn: v.FunctionID(), Stage: p.stage(v),
+			Value: int64(moved), Aux: int64(p.Gen),
+		})
+	}
+	return moved
+}
+
+// stage names the lifecycle segment this Pucket seals.
+func (p Pucket) stage(v policy.View) telemetry.Stage {
+	switch p.Seg {
+	case v.RuntimeRange():
+		return telemetry.StageRuntime
+	case v.InitRange():
+		return telemetry.StageInit
+	default:
+		return telemetry.StageNone
+	}
 }
 
 // Rollback demotes every hot-pool page of this Pucket back to its inactive

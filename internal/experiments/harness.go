@@ -18,6 +18,7 @@ import (
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -68,6 +69,10 @@ type Scenario struct {
 	MemTimeline *metrics.Series
 	// MemSampleEvery defaults to 10 s when MemTimeline is set.
 	MemSampleEvery time.Duration
+	// Telemetry attaches an event tracer / metric registry to the run. The
+	// zero Hub falls back to the process default (telemetry.SetDefault), so
+	// cmd/experiments' -trace flags capture every harness without plumbing.
+	Telemetry telemetry.Hub
 }
 
 // Outcome summarizes one scenario run.
@@ -156,6 +161,7 @@ func RunScenario(sc Scenario) Outcome {
 		Seed:             sc.Seed,
 		Pool:             sc.Pool,
 		Swap:             sc.Swap,
+		Telemetry:        sc.Telemetry.OrDefault(),
 	}, pol)
 	fnID := sc.Profile.Name
 	f := p.Register(fnID, sc.Profile)

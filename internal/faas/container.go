@@ -10,6 +10,7 @@ import (
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -40,6 +41,7 @@ type Container struct {
 	curStall  time.Duration
 	idleSince simtime.Time
 	launched  simtime.Time
+	loadedAt  simtime.Time // when the runtime finished loading
 	recycleEv *simtime.Event
 	dead      bool
 }
@@ -62,6 +64,11 @@ func (p *Platform) launch(f *Function) *Container {
 		launched: now,
 	}
 	c.lru = mglru.New(c.space)
+	p.met.launches.Inc()
+	p.met.live.Set(int64(p.liveTotal))
+	p.tel.Tracer.Record(telemetry.Event{
+		At: now, Kind: telemetry.KindContainerLaunch, Actor: c.id, Fn: f.id,
+	})
 	c.pol = p.pol.Attach(p.engine, c)
 	return c
 }
@@ -73,6 +80,18 @@ func (c *Container) runtimeLoaded(now simtime.Time) {
 	c.runtimeGen, c.runtimeRange = c.lru.InsertBarrier()
 	bytes := c.space.BytesOf(c.runtimeRange.Len())
 	c.cg.Charge(now, bytes)
+	c.loadedAt = now
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: c.launched, Dur: time.Duration(now - c.launched),
+		Kind: telemetry.KindRuntimeLoaded, Actor: c.id, Fn: c.fn.id,
+		Stage: telemetry.StageRuntime, Value: int64(c.runtimeRange.Len()),
+	})
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: now, Kind: telemetry.KindBarrierInsert, Actor: c.id, Fn: c.fn.id,
+		Stage: telemetry.StageRuntime, Value: int64(c.runtimeRange.Len()),
+		Aux: int64(c.runtimeGen),
+	})
+	c.p.syncMemGauges()
 	c.p.enforceMemoryLimit(now)
 	c.pol.RuntimeLoaded(c.p.engine)
 }
@@ -84,6 +103,17 @@ func (c *Container) initDone(now simtime.Time) {
 	c.initGen, c.initRange = c.lru.InsertBarrier()
 	initBytes := c.space.BytesOf(c.initRange.Len())
 	c.cg.Charge(now, initBytes)
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: c.loadedAt, Dur: time.Duration(now - c.loadedAt),
+		Kind: telemetry.KindInitDone, Actor: c.id, Fn: c.fn.id,
+		Stage: telemetry.StageInit, Value: int64(c.initRange.Len()),
+	})
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: now, Kind: telemetry.KindBarrierInsert, Actor: c.id, Fn: c.fn.id,
+		Stage: telemetry.StageInit, Value: int64(c.initRange.Len()),
+		Aux: int64(c.initGen),
+	})
+	c.p.syncMemGauges()
 	c.p.enforceMemoryLimit(now)
 
 	// Exec slots exist from here on but stay Free between requests; FaaSMem
@@ -141,9 +171,26 @@ func (c *Container) execute(arrival simtime.Time) {
 		}
 		recalled := int64(faults+readahead) * pageBytes
 		c.cg.Recall(now, recalled)
+		c.p.syncMemGauges()
 		c.p.enforceMemoryLimit(now)
 		c.p.swap.Release(faults + readahead)
 		c.fn.stats.FaultPages += int64(faults)
+		c.p.met.faultPages.Add(int64(faults))
+		c.p.met.readaheadPages.Add(int64(readahead))
+		if runtimeFaults+runtimeRA > 0 {
+			c.p.tel.Tracer.Record(telemetry.Event{
+				At: now, Dur: faultLat, Kind: telemetry.KindPageFault,
+				Actor: c.id, Fn: c.fn.id, Stage: telemetry.StageRuntime,
+				Value: int64(runtimeFaults), Aux: int64(runtimeRA),
+			})
+		}
+		if initFaults+initRA > 0 {
+			c.p.tel.Tracer.Record(telemetry.Event{
+				At: now, Dur: faultLat, Kind: telemetry.KindPageFault,
+				Actor: c.id, Fn: c.fn.id, Stage: telemetry.StageInit,
+				Value: int64(initFaults), Aux: int64(initRA),
+			})
+		}
 	}
 
 	c.curFaults = faults
@@ -212,6 +259,13 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 
 	c.requests++
 	c.fn.stats.Requests++
+	c.p.met.requests.Inc()
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: c.started, Dur: time.Duration(now - c.started),
+		Kind: telemetry.KindRequest, Actor: c.id, Fn: c.fn.id,
+		Value: int64(c.curFaults), Aux: int64(c.curKind),
+	})
+	c.p.syncMemGauges()
 	c.fn.stats.Latency.AddDuration(now - arrival)
 	c.fn.stats.ExecLatency.AddDuration(now - c.started)
 	c.p.reqLog.Add(RequestRecord{
@@ -234,6 +288,7 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 		arrival := c.fn.queue[0]
 		c.fn.queue = c.fn.queue[1:]
 		c.fn.stats.WarmStarts++
+		c.p.met.warmStarts.Inc()
 		c.curKind = QueuedStart
 		c.execute(arrival)
 		return
@@ -243,6 +298,9 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 	c.idle = true
 	c.idleSince = now
 	c.fn.idle = append(c.fn.idle, c)
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: now, Kind: telemetry.KindContainerIdle, Actor: c.id, Fn: c.fn.id,
+	})
 	c.recycleEv = e.After(c.p.keepAliveFor(c.fn), func(*simtime.Engine) { c.recycle() })
 	c.pol.Idle(e)
 
@@ -276,6 +334,13 @@ func (c *Container) recycle() {
 	c.p.addLive(now, -1)
 	c.p.liveTotal--
 	c.fn.live--
+	c.p.met.recycles.Inc()
+	c.p.met.live.Set(int64(c.p.liveTotal))
+	c.p.tel.Tracer.Record(telemetry.Event{
+		At: now, Kind: telemetry.KindContainerRecycle, Actor: c.id, Fn: c.fn.id,
+		Value: remote,
+	})
+	c.p.syncMemGauges()
 	c.pol.Recycle(c.p.engine)
 }
 
@@ -325,6 +390,10 @@ func (c *Container) PSI() *cgroup.PSI { return c.psi }
 func (c *Container) OffloadScale() float64 {
 	return c.p.governor.Scale(c.p.engine.Now())
 }
+
+// Trace implements policy.View: the platform's event tracer (nil when
+// tracing is disabled; telemetry.Tracer methods are nil-safe).
+func (c *Container) Trace() *telemetry.Tracer { return c.p.tel.Tracer }
 
 // Cgroup exposes the container's memory accounting (read-only use).
 func (c *Container) Cgroup() *cgroup.Group { return c.cg }
@@ -396,5 +465,33 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		return 0
 	}
 	c.cg.Offload(now, bytes)
+	if c.p.tel.Enabled() {
+		// Classify the moved pages by lifecycle segment so the trace and the
+		// per-stage counters show which Pucket the savings came from.
+		var perStage [4]int64
+		for _, id := range moved {
+			switch {
+			case c.runtimeRange.Contains(id):
+				perStage[telemetry.StageRuntime]++
+			case c.initRange.Contains(id):
+				perStage[telemetry.StageInit]++
+			case c.execRange.Contains(id):
+				perStage[telemetry.StageExec]++
+			default:
+				perStage[telemetry.StageNone]++
+			}
+		}
+		for st, n := range perStage {
+			if n == 0 {
+				continue
+			}
+			c.p.met.offloadedPages[st].Add(n)
+			c.p.tel.Tracer.Record(telemetry.Event{
+				At: now, Kind: telemetry.KindPageOffload, Actor: c.id,
+				Fn: c.fn.id, Stage: telemetry.Stage(st), Value: n,
+			})
+		}
+		c.p.syncMemGauges()
+	}
 	return len(moved)
 }

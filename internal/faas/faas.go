@@ -22,6 +22,7 @@ import (
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -66,6 +67,11 @@ type Config struct {
 	// RequestLogSize keeps a ring of the most recent N request records for
 	// inspection (gateway, debugging). Zero disables the log.
 	RequestLogSize int
+	// Telemetry attaches an event tracer and metric registry to the platform
+	// and everything it owns: container lifecycles, the pool link, the swap
+	// device, and the policy via View.Trace. The zero Hub disables all
+	// instrumentation; the disabled path is allocation-free.
+	Telemetry telemetry.Hub
 	// Seed drives all stochastic workload behaviour deterministically.
 	Seed int64
 }
@@ -203,6 +209,8 @@ type Platform struct {
 	governor   *rmem.Governor
 	swap       *fastswap.Device
 	reqLog     RequestLog
+	tel        telemetry.Hub
+	met        platformMetrics
 	containers int // ever created
 	liveTotal  int
 	evicted    int
@@ -230,7 +238,11 @@ func NewWithPool(engine *simtime.Engine, cfg Config, pol policy.Policy, pool *rm
 		liveTW:   metrics.NewTimeWeighted(engine.Now(), 0),
 		governor: rmem.NewGovernor(pool, 0.7),
 		swap:     fastswap.NewDevice(c.Swap),
+		tel:      c.Telemetry,
 	}
+	p.met = newPlatformMetrics(p.tel.Reg)
+	pool.Instrument(p.tel.Tracer, p.tel.Reg)
+	p.swap.Instrument(p.tel.Reg)
 	p.reqLog.SetCapacity(c.RequestLogSize)
 	return p
 }
@@ -325,9 +337,11 @@ func (p *Platform) dispatch(f *Function, arrival simtime.Time) {
 		if sw, ok := c.pol.(policy.SemiWarmer); ok && sw.InSemiWarm() {
 			f.stats.SemiWarmStarts++
 			c.curKind = SemiWarmStart
+			p.met.semiWarmStarts.Inc()
 		} else {
 			f.stats.WarmStarts++
 			c.curKind = WarmStart
+			p.met.warmStarts.Inc()
 		}
 		c.wake()
 		c.execute(arrival)
@@ -336,9 +350,15 @@ func (p *Platform) dispatch(f *Function, arrival simtime.Time) {
 	if p.cfg.MaxContainersPerFunction > 0 && f.live >= p.cfg.MaxContainersPerFunction {
 		// At the scale-out cap with every container busy: queue FIFO.
 		f.queue = append(f.queue, arrival)
+		p.met.queuedReqs.Inc()
+		p.tel.Tracer.Record(telemetry.Event{
+			At: now, Kind: telemetry.KindRequestQueued, Actor: "node", Fn: f.id,
+			Value: int64(len(f.queue)),
+		})
 		return
 	}
 	f.stats.ColdStarts++
+	p.met.coldStarts.Inc()
 	c := p.launch(f)
 	c.curKind = ColdStart
 	// Cold start: the runtime loads, then the function initializes, then the
@@ -422,6 +442,12 @@ func (p *Platform) enforceMemoryLimit(now simtime.Time) {
 			return // nothing idle to reclaim
 		}
 		p.evicted++
+		p.met.evictions.Inc()
+		p.tel.Tracer.Record(telemetry.Event{
+			At: now, Kind: telemetry.KindContainerEvict,
+			Actor: victim.id, Fn: victim.fn.id,
+			Value: victim.space.LocalBytes(),
+		})
 		victim.recycle()
 	}
 }

@@ -12,6 +12,8 @@ package fastswap
 
 import (
 	"fmt"
+
+	"github.com/faasmem/faasmem/internal/telemetry"
 )
 
 // Config sizes a node's swap device.
@@ -30,6 +32,9 @@ type Config struct {
 type Device struct {
 	cfg  Config
 	used int
+
+	slotsUsed   *telemetry.Metric // gauge, nil no-op until Instrument
+	truncations *telemetry.Metric
 }
 
 // NewDevice creates a swap device.
@@ -45,6 +50,16 @@ func NewDevice(cfg Config) *Device {
 
 // Config returns the effective configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Instrument attaches a metric registry; a nil registry leaves the device's
+// metrics as no-ops.
+func (d *Device) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.slotsUsed = reg.Gauge("faasmem_swap_slots_used", "occupied swapfile slots")
+	d.truncations = reg.Counter("faasmem_swap_full_truncations_total", "slot allocations truncated by a full swapfile")
+}
 
 // Used returns occupied slots.
 func (d *Device) Used() int { return d.used }
@@ -66,16 +81,19 @@ func (d *Device) Allocate(n int) int {
 	}
 	if d.cfg.Slots == 0 {
 		d.used += n
+		d.slotsUsed.Set(int64(d.used))
 		return n
 	}
 	free := d.cfg.Slots - d.used
 	if n > free {
 		n = free
+		d.truncations.Inc()
 	}
 	if n < 0 {
 		n = 0
 	}
 	d.used += n
+	d.slotsUsed.Set(int64(d.used))
 	return n
 }
 
@@ -88,6 +106,7 @@ func (d *Device) Release(n int) {
 	if d.used < 0 {
 		d.used = 0
 	}
+	d.slotsUsed.Set(int64(d.used))
 }
 
 // Readahead reports the prefetch window for one fault (0 = disabled).

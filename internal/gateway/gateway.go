@@ -6,11 +6,18 @@
 // Endpoints:
 //
 //	GET  /healthz             liveness probe
+//	GET  /metrics             live counters, Prometheus text format
 //	GET  /benchmarks          the 11 benchmark profiles
 //	GET  /policies            available offloading policies
 //	POST /run                 run one scenario (JSON body, JSON outcome)
 //	POST /replay              replay a multi-function trace (tracegen JSON)
 //	POST /experiments/{name}  regenerate one figure/table (quick variants)
+//
+// The gateway instruments every run with a shared telemetry registry, so
+// /metrics aggregates simulation counters (cold starts, offloaded pages,
+// link traffic) across the service's lifetime alongside the gateway's own
+// request counters. Metrics are atomics and handlers run concurrently; this
+// is the one place the simulator's counters are read while runs mutate them.
 package gateway
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -83,12 +91,40 @@ type RunResponse struct {
 	Outcome  experiments.Outcome `json:"outcome"`
 }
 
+// server holds the gateway's shared state: the telemetry registry every
+// simulation run reports into, plus the gateway's own request counters.
+type server struct {
+	reg         *telemetry.Registry
+	runs        *telemetry.Metric
+	replays     *telemetry.Metric
+	experiments *telemetry.Metric
+	errors      *telemetry.Metric
+}
+
+func newServer() *server {
+	reg := telemetry.NewRegistry()
+	return &server{
+		reg:         reg,
+		runs:        reg.Counter("gateway_runs_total", "POST /run scenarios executed"),
+		replays:     reg.Counter("gateway_replays_total", "POST /replay traces executed"),
+		experiments: reg.Counter("gateway_experiments_total", "POST /experiments regenerations executed"),
+		errors:      reg.Counter("gateway_errors_total", "requests rejected with an error status"),
+	}
+}
+
+// hub is the telemetry wiring passed into simulation runs: metrics aggregate
+// into the shared registry; per-event tracing stays off (a service-lifetime
+// ring of interleaved runs would not be meaningful).
+func (s *server) hub() telemetry.Hub { return telemetry.Hub{Reg: s.reg} }
+
 // Handler builds the gateway's HTTP handler.
 func Handler() http.Handler {
+	s := newServer()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.reg))
 	mux.HandleFunc("GET /benchmarks", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, workload.Profiles())
 	})
@@ -98,22 +134,23 @@ func Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, experimentNames)
 	})
-	mux.HandleFunc("POST /run", handleRun)
-	mux.HandleFunc("POST /replay", handleReplay)
-	mux.HandleFunc("POST /experiments/{name}", handleExperiment)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /replay", s.handleReplay)
+	mux.HandleFunc("POST /experiments/{name}", s.handleExperiment)
 	return mux
 }
 
-func handleRun(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if err := req.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	s.runs.Inc()
 	duration := time.Duration(req.DurationSec * float64(time.Second))
 	fn := trace.GenerateFunction(req.Bench, duration,
 		time.Duration(req.MeanGapSec*float64(time.Second)), req.Bursty, req.Seed)
@@ -125,6 +162,7 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 		Policy:      experiments.PolicyKind(req.Policy),
 		SeedHistory: true,
 		Seed:        req.Seed,
+		Telemetry:   s.hub(),
 	})
 	writeJSON(w, http.StatusOK, RunResponse{
 		Bench:    req.Bench,
@@ -144,15 +182,16 @@ var experimentNames = []string{
 
 // handleExperiment regenerates one figure/table at quick scale and returns
 // its rows as JSON.
-func handleExperiment(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := strings.ToLower(r.PathValue("name"))
 	var seed int64 = 1
-	if s := r.URL.Query().Get("seed"); s != "" {
-		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", s))
+	if q := r.URL.Query().Get("seed"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &seed); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", q))
 			return
 		}
 	}
+	s.experiments.Inc()
 	var rows any
 	switch name {
 	case "fig1":
@@ -198,7 +237,7 @@ func handleExperiment(w http.ResponseWriter, r *http.Request) {
 	case "ext-rack":
 		rows = experiments.RackDensity(experiments.RackDensityOptions{Duration: 8 * time.Minute, Seed: seed})
 	default:
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"experiment": name, "seed": seed, "rows": rows})
@@ -214,4 +253,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// fail writes an error response and counts it.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Inc()
+	writeError(w, status, err)
 }

@@ -1,0 +1,110 @@
+package gateway
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrape issues one request against a shared handler (the do helper builds a
+// fresh Handler per call, which would reset the metric registry between the
+// run and the scrape).
+func scrape(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func metricValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in scrape:\n%s", name, text)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := Handler()
+
+	rec := scrape(t, h, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	before := rec.Body.String()
+	if !strings.Contains(before, "# TYPE gateway_runs_total counter") {
+		t.Fatalf("missing TYPE line:\n%s", before)
+	}
+	if v := metricValue(t, before, "gateway_runs_total"); v != 0 {
+		t.Fatalf("gateway_runs_total before any run = %d", v)
+	}
+
+	run := scrape(t, h, http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":120,"mean_gap_sec":10,"seed":3}`)
+	if run.Code != http.StatusOK {
+		t.Fatalf("run status = %d: %s", run.Code, run.Body.String())
+	}
+	bad := scrape(t, h, http.MethodPost, "/run", `not json`)
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("bad run status = %d", bad.Code)
+	}
+
+	after := scrape(t, h, http.MethodGet, "/metrics", "").Body.String()
+	if v := metricValue(t, after, "gateway_runs_total"); v != 1 {
+		t.Errorf("gateway_runs_total = %d, want 1", v)
+	}
+	if v := metricValue(t, after, "gateway_errors_total"); v != 1 {
+		t.Errorf("gateway_errors_total = %d, want 1", v)
+	}
+	// The run's simulation counters aggregate into the same registry.
+	if v := metricValue(t, after, "faasmem_requests_completed_total"); v == 0 {
+		t.Error("faasmem_requests_completed_total = 0 after a run")
+	}
+	if v := metricValue(t, after, "faasmem_containers_launched_total"); v == 0 {
+		t.Error("faasmem_containers_launched_total = 0 after a run")
+	}
+}
+
+// TestMetricsConcurrentScrape exercises /metrics while runs are in flight —
+// the reason the whole tree runs under go test -race in CI.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	h := Handler()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := `{"bench":"json","duration_sec":60,"seed":` + strconv.Itoa(seed) + `}`
+			if rec := scrape(t, h, http.MethodPost, "/run", body); rec.Code != http.StatusOK {
+				t.Errorf("run status = %d", rec.Code)
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rec := scrape(t, h, http.MethodGet, "/metrics", ""); rec.Code != http.StatusOK {
+				t.Errorf("metrics status = %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := scrape(t, h, http.MethodGet, "/metrics", "").Body.String()
+	if v := metricValue(t, final, "gateway_runs_total"); v != 4 {
+		t.Errorf("gateway_runs_total = %d, want 4", v)
+	}
+}

@@ -51,18 +51,18 @@ type ReplayResponse struct {
 	Recent []faas.RequestRecord `json:"recent"`
 }
 
-func handleReplay(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var req ReplayRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
 	if req.Trace == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing trace"))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("missing trace"))
 		return
 	}
 	if err := req.Trace.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	const ceiling = 200000
@@ -70,7 +70,7 @@ func handleReplay(w http.ResponseWriter, r *http.Request) {
 		req.MaxInvocations = ceiling
 	}
 	if req.Trace.TotalInvocations() > req.MaxInvocations {
-		writeError(w, http.StatusBadRequest,
+		s.fail(w, http.StatusBadRequest,
 			fmt.Errorf("trace has %d invocations, limit %d", req.Trace.TotalInvocations(), req.MaxInvocations))
 		return
 	}
@@ -89,7 +89,7 @@ func handleReplay(w http.ResponseWriter, r *http.Request) {
 
 	kind := experiments.PolicyKind(req.Policy)
 	if !experiments.ValidPolicy(kind) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", req.Policy))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", req.Policy))
 		return
 	}
 	pol, _ := experiments.BuildPolicy(kind, core.Config{})
@@ -105,9 +105,10 @@ func handleReplay(w http.ResponseWriter, r *http.Request) {
 		return base
 	}
 	if req.Profile != "mix" && workload.ByName(req.Profile) == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
 		return
 	}
+	s.replays.Inc()
 
 	engine := simtime.NewEngine()
 	p := faas.New(engine, faas.Config{
@@ -115,6 +116,7 @@ func handleReplay(w http.ResponseWriter, r *http.Request) {
 		Pool:             rmem.Config{},
 		RequestLogSize:   64,
 		Seed:             req.Seed,
+		Telemetry:        s.hub(),
 	}, pol)
 	p.ReplayTrace(req.Trace, func(i int, f *trace.Function) *workload.Profile {
 		base := *pick(i, f)

@@ -89,6 +89,10 @@ func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Empty reports whether the histogram has no observations (see
+// Sampler.Empty for why callers should check before rendering a 0).
+func (h *Histogram) Empty() bool { return h.total == 0 }
+
 // Mean returns the exact arithmetic mean (sums are exact; only quantiles are
 // bucketed).
 func (h *Histogram) Mean() float64 {

@@ -13,6 +13,13 @@ func TestHistogramEmpty(t *testing.T) {
 	if h.Count() != 0 || h.Mean() != 0 || h.P95() != 0 || h.Max() != 0 || h.Min() != 0 {
 		t.Fatal("empty histogram should report zeros")
 	}
+	if !h.Empty() {
+		t.Error("fresh histogram should be Empty")
+	}
+	h.Add(0)
+	if h.Empty() {
+		t.Error("histogram with one observation reported Empty")
+	}
 }
 
 func TestHistogramBadConstruction(t *testing.T) {

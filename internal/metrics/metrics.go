@@ -31,6 +31,12 @@ func (s *Sampler) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 // Count returns the number of observations.
 func (s *Sampler) Count() int { return len(s.values) }
 
+// Empty reports whether the sampler has no observations. Mean, Percentile,
+// Min and Max all return 0 in that case — indistinguishable from a genuine
+// zero observation — so report code should check Empty (or use the
+// comma-ok accessors) and render "n/a" instead of a misleading 0.
+func (s *Sampler) Empty() bool { return len(s.values) == 0 }
+
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (s *Sampler) Mean() float64 {
 	if len(s.values) == 0 {
@@ -114,6 +120,43 @@ func (s *Sampler) Min() float64 {
 	}
 	s.sort()
 	return s.values[0]
+}
+
+// PercentileOK is Percentile with an explicit ok=false when there are no
+// observations, removing the 0-vs-empty ambiguity.
+func (s *Sampler) PercentileOK(p float64) (float64, bool) {
+	if s.Empty() {
+		// Still validate p so misuse is caught on the empty path too.
+		if p < 0 || p > 100 {
+			panic(fmt.Sprintf("metrics: percentile %v out of [0,100]", p))
+		}
+		return 0, false
+	}
+	return s.Percentile(p), true
+}
+
+// MinOK is Min with an explicit ok=false when there are no observations.
+func (s *Sampler) MinOK() (float64, bool) {
+	if s.Empty() {
+		return 0, false
+	}
+	return s.Min(), true
+}
+
+// MaxOK is Max with an explicit ok=false when there are no observations.
+func (s *Sampler) MaxOK() (float64, bool) {
+	if s.Empty() {
+		return 0, false
+	}
+	return s.Max(), true
+}
+
+// MeanOK is Mean with an explicit ok=false when there are no observations.
+func (s *Sampler) MeanOK() (float64, bool) {
+	if s.Empty() {
+		return 0, false
+	}
+	return s.Mean(), true
 }
 
 // CDF returns the empirical distribution as (value, cumulative fraction)

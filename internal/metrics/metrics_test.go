@@ -253,3 +253,52 @@ func TestPearson(t *testing.T) {
 		t.Errorf("noisy positive = %v, want > 0.9", got)
 	}
 }
+
+func TestSamplerEmptyAccessors(t *testing.T) {
+	var s Sampler
+	if !s.Empty() {
+		t.Error("fresh sampler should be empty")
+	}
+	if _, ok := s.PercentileOK(95); ok {
+		t.Error("PercentileOK on empty sampler reported ok")
+	}
+	if _, ok := s.MinOK(); ok {
+		t.Error("MinOK on empty sampler reported ok")
+	}
+	if _, ok := s.MaxOK(); ok {
+		t.Error("MaxOK on empty sampler reported ok")
+	}
+	if _, ok := s.MeanOK(); ok {
+		t.Error("MeanOK on empty sampler reported ok")
+	}
+
+	// A genuine zero observation is distinguishable from "no observations".
+	s.Add(0)
+	if s.Empty() {
+		t.Error("sampler with one zero observation reported empty")
+	}
+	if v, ok := s.MeanOK(); !ok || v != 0 {
+		t.Errorf("MeanOK = (%v, %v), want (0, true)", v, ok)
+	}
+
+	s.Add(4)
+	if v, ok := s.MinOK(); !ok || v != 0 {
+		t.Errorf("MinOK = (%v, %v)", v, ok)
+	}
+	if v, ok := s.MaxOK(); !ok || v != 4 {
+		t.Errorf("MaxOK = (%v, %v)", v, ok)
+	}
+	if v, ok := s.PercentileOK(50); !ok || v != s.P50() {
+		t.Errorf("PercentileOK(50) = (%v, %v), want P50 %v", v, ok, s.P50())
+	}
+}
+
+func TestPercentileOKValidatesOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PercentileOK(-1) on empty sampler should still panic")
+		}
+	}()
+	var s Sampler
+	s.PercentileOK(-1)
+}

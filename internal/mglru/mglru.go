@@ -30,6 +30,10 @@ type LRU struct {
 	count []int   // pages per generation
 	// tracked is the number of space pages already covered by the gen slice.
 	tracked int
+	// promotions and demotions count cross-generation page moves — the
+	// MGLRU churn the telemetry layer surfaces.
+	promotions uint64
+	demotions  uint64
 }
 
 // New creates an LRU over space with a single initial generation (ID 0).
@@ -138,7 +142,18 @@ func (l *LRU) moveTo(id pagemem.PageID, g GenID) {
 	}
 	l.gen[id] = g
 	l.count[g]++
+	if g > old {
+		l.promotions++
+	} else {
+		l.demotions++
+	}
 }
+
+// Promotions counts pages ever moved to a younger generation.
+func (l *LRU) Promotions() uint64 { return l.promotions }
+
+// Demotions counts pages ever moved back to an older generation (rollbacks).
+func (l *LRU) Demotions() uint64 { return l.demotions }
 
 // WalkGen calls fn for every tracked page currently in generation g.
 func (l *LRU) WalkGen(g GenID, fn func(pagemem.PageID)) {

@@ -14,6 +14,7 @@ import (
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -58,6 +59,11 @@ type View interface {
 	// in (0, 1]: gradual offloaders multiply their per-tick budget by it so
 	// that aggregate offload traffic stays within the link budget (§6.2).
 	OffloadScale() float64
+	// Trace returns the platform's event tracer, nil when tracing is
+	// disabled. Policies record their mechanism-level events (Pucket drains,
+	// rollbacks, semi-warm transitions) through it; telemetry.Tracer methods
+	// are nil-safe, so call sites need no guard.
+	Trace() *telemetry.Tracer
 }
 
 // Policy manufactures per-container policy instances.

@@ -43,6 +43,16 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
+// Stat formats a statistic with the given printf verb, rendering "n/a" when
+// ok is false — the companion to the metrics package's comma-ok accessors,
+// so empty samplers print as "n/a" rather than a misleading 0.
+func Stat(format string, v float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // Point is one (x, y) sample.
 type Point struct {
 	X, Y float64

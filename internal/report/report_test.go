@@ -147,3 +147,12 @@ func TestSVGChartMultiSeriesLegend(t *testing.T) {
 		t.Error("series colors missing")
 	}
 }
+
+func TestStat(t *testing.T) {
+	if got := Stat("%.3fs", 1.5, true); got != "1.500s" {
+		t.Errorf("Stat ok = %q", got)
+	}
+	if got := Stat("%.3fs", 0, false); got != "n/a" {
+		t.Errorf("Stat !ok = %q, want n/a", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
 )
 
 // Config describes a memory pool node and its link.
@@ -108,6 +109,34 @@ type Pool struct {
 	used      int64
 	busyUntil simtime.Time
 	meter     [2]*Meter // per direction
+	tr        *telemetry.Tracer
+	met       poolMetrics
+}
+
+// poolMetrics are the pool's live counters; every field is a no-op nil
+// *telemetry.Metric until Instrument attaches a registry.
+type poolMetrics struct {
+	offloadBytes *telemetry.Metric
+	recallBytes  *telemetry.Metric
+	usedBytes    *telemetry.Metric
+	saturation   *telemetry.Metric
+}
+
+// Instrument attaches a tracer and metric registry to the pool. Either may
+// be nil. A rack-shared pool is instrumented by every platform that attaches
+// to it; later calls with only nil sinks are ignored so a telemetry-disabled
+// node cannot detach a sibling's instrumentation.
+func (p *Pool) Instrument(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	if tr == nil && reg == nil {
+		return
+	}
+	p.tr = tr
+	p.met = poolMetrics{
+		offloadBytes: reg.Counter("faasmem_link_offload_bytes_total", "bytes bulk-transferred node->pool"),
+		recallBytes:  reg.Counter("faasmem_link_recall_bytes_total", "bytes transferred pool->node (bulk and faults)"),
+		usedBytes:    reg.Gauge("faasmem_pool_used_bytes", "bytes currently stored in the remote pool"),
+		saturation:   reg.Counter("faasmem_link_saturation_events_total", "faults served while link utilization was past the saturation point"),
+	}
 }
 
 // NewPool creates a pool from cfg, applying defaults for zero fields.
@@ -189,8 +218,15 @@ func (p *Pool) OffloadBytes(now simtime.Time, bytes int64) (simtime.Time, error)
 		return now, ErrPoolFull
 	}
 	p.used += bytes
-	_, done := p.reserve(now, bytes)
+	start, done := p.reserve(now, bytes)
 	p.meter[Offload].Record(now, bytes)
+	p.met.offloadBytes.Add(bytes)
+	p.met.usedBytes.Set(p.used)
+	p.tr.Record(telemetry.Event{
+		At: start, Dur: time.Duration(done - start),
+		Kind: telemetry.KindLinkTransfer, Actor: "link",
+		Value: bytes, Aux: int64(Offload),
+	})
 	return done, nil
 }
 
@@ -207,8 +243,15 @@ func (p *Pool) RecallBytes(now simtime.Time, bytes int64) simtime.Time {
 		bytes = p.used
 	}
 	p.used -= bytes
-	_, done := p.reserve(now, bytes)
+	start, done := p.reserve(now, bytes)
 	p.meter[Recall].Record(now, bytes)
+	p.met.recallBytes.Add(bytes)
+	p.met.usedBytes.Set(p.used)
+	p.tr.Record(telemetry.Event{
+		At: start, Dur: time.Duration(done - start),
+		Kind: telemetry.KindLinkTransfer, Actor: "link",
+		Value: bytes, Aux: int64(Recall),
+	})
 	return done
 }
 
@@ -225,6 +268,8 @@ func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
 	}
 	p.used -= pageBytes
 	p.meter[Recall].Record(now, pageBytes)
+	p.met.recallBytes.Add(pageBytes)
+	p.met.usedBytes.Set(p.used)
 	lat := p.cfg.FaultLatency + p.transferTime(pageBytes)
 	util := p.Utilization(now)
 	if util > p.cfg.SaturationPoint {
@@ -233,6 +278,7 @@ func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
 			over = 1
 		}
 		lat += time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+		p.recordSaturation(now, util)
 	}
 	return lat
 }
@@ -255,6 +301,8 @@ func (p *Pool) FaultBatch(now simtime.Time, n int, pageBytes int64) time.Duratio
 	}
 	p.used -= total
 	p.meter[Recall].Record(now, total)
+	p.met.recallBytes.Add(total)
+	p.met.usedBytes.Set(p.used)
 	rounds := (n + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
 	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTime(total)
 	util := p.Utilization(now)
@@ -264,8 +312,18 @@ func (p *Pool) FaultBatch(now simtime.Time, n int, pageBytes int64) time.Duratio
 			over = 1
 		}
 		lat += time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+		p.recordSaturation(now, util)
 	}
 	return lat
+}
+
+// recordSaturation notes one fault served on a saturated link.
+func (p *Pool) recordSaturation(now simtime.Time, util float64) {
+	p.met.saturation.Inc()
+	p.tr.Record(telemetry.Event{
+		At: now, Kind: telemetry.KindLinkSaturation, Actor: "link",
+		Value: int64(util * 100),
+	})
 }
 
 // Discard drops bytes from the pool without a transfer — used when a
@@ -275,6 +333,7 @@ func (p *Pool) Discard(bytes int64) {
 		bytes = p.used
 	}
 	p.used -= bytes
+	p.met.usedBytes.Set(p.used)
 }
 
 // Utilization estimates current link utilization in [0, 1+] from the recent

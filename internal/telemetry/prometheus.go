@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE lines followed by the sample, one
+// metric per block, sorted by name.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", s.Name, s.Type, s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves the registry as a Prometheus scrape target —
+// wire it at /metrics. Safe for concurrent use with running simulations:
+// metric reads are atomic snapshots.
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faasmem_requests_total", "completed requests").Add(42)
+	r.Gauge("faasmem_live_containers", "live containers").Set(3)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP faasmem_live_containers live containers\n" +
+		"# TYPE faasmem_live_containers gauge\n" +
+		"faasmem_live_containers 3\n" +
+		"# HELP faasmem_requests_total completed requests\n" +
+		"# TYPE faasmem_requests_total counter\n" +
+		"faasmem_requests_total 42\n"
+	if b.String() != want {
+		t.Fatalf("exposition format drifted:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestWritePrometheusEmptyAndNil(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, NewRegistry()); err != nil || b.Len() != 0 {
+		t.Fatalf("empty registry: err=%v out=%q", err, b.String())
+	}
+	var nilReg *Registry
+	if err := WritePrometheus(&b, nilReg); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, b.String())
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Inc()
+	srv := httptest.NewServer(PrometheusHandler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 1") {
+		t.Fatalf("body = %q", buf[:n])
+	}
+}

@@ -1,0 +1,335 @@
+// Package telemetry is the simulator's zero-dependency observability layer:
+// typed, timestamped event tracing on the virtual clock plus a registry of
+// live counters and gauges, with exporters for Chrome trace-event JSON
+// (Perfetto / chrome://tracing), Prometheus text format, and human-readable
+// dumps.
+//
+// Design constraints, in order:
+//
+//   - The disabled path must be free. A nil *Tracer and nil *Metric are
+//     fully functional no-ops, so subsystems instrument unconditionally and
+//     pay a nil check — zero allocations, no branches on config structs —
+//     when telemetry is off (verified by BenchmarkDisabledTracer and
+//     TestDisabledTracerZeroAlloc).
+//   - Bounded memory. The Tracer is a fixed-capacity ring: once full, the
+//     oldest events are overwritten and counted in Dropped, so tracing a
+//     multi-hour simulation cannot exhaust the host.
+//   - Safe to share. The DES engine is single-threaded, but exporters run
+//     outside it (the gateway's /metrics handler, cmd/experiments' parallel
+//     workers), so the Tracer takes a mutex per record and metrics are
+//     atomics.
+//
+// Events carry virtual timestamps (simtime.Time); nothing in this package
+// reads the wall clock, so traces of a seeded run are bit-identical across
+// machines.
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// Kind is the type of a traced event. Each kind maps to one mechanism of the
+// paper (see DESIGN.md's Observability section for the full mapping).
+type Kind uint8
+
+// The event kinds emitted by the simulator.
+const (
+	// KindNone is the zero Kind; it is never emitted.
+	KindNone Kind = iota
+	// KindContainerLaunch marks a cold-started container coming into
+	// existence.
+	KindContainerLaunch
+	// KindRuntimeLoaded spans the runtime-load phase of a cold start and
+	// coincides with the Runtime–Init time barrier.
+	KindRuntimeLoaded
+	// KindInitDone spans function initialization and coincides with the
+	// Init–Execution time barrier.
+	KindInitDone
+	// KindRequest spans one request execution (start → completion). Value is
+	// the request's remote fault count; Aux encodes the start kind
+	// (cold/warm/semi-warm/queued, the faas.StartKind values).
+	KindRequest
+	// KindRequestQueued marks a request queued behind the scale-out cap.
+	KindRequestQueued
+	// KindContainerIdle marks a container entering keep-alive.
+	KindContainerIdle
+	// KindContainerRecycle marks keep-alive expiry tearing a container down.
+	// Value is the remote bytes discarded with it.
+	KindContainerRecycle
+	// KindContainerEvict marks a forced recycle by the node memory limit.
+	KindContainerEvict
+	// KindBarrierInsert marks a Pucket time barrier (an MGLRU generation
+	// seal). Stage names the sealed segment; Value is the pages stamped.
+	KindBarrierInsert
+	// KindPageOffload marks pages moving local → pool. Stage names the
+	// segment the pages belong to; Value is the page count.
+	KindPageOffload
+	// KindPucketOffload marks a Pucket draining its inactive list (the §5.1
+	// reactive and §5.2 window-based offloads). Value is the pages moved;
+	// Aux is the backing MGLRU generation.
+	KindPucketOffload
+	// KindPageFault spans a remote-fault stall on a request's critical path.
+	// Value is the faulting page count; Aux is the readahead pages recalled
+	// alongside.
+	KindPageFault
+	// KindRollback marks a §5.3 periodic rollback demoting hot-pool pages
+	// back to their Puckets. Value is the pages rolled back.
+	KindRollback
+	// KindWindowFixed marks the §5.2 request-window being sealed. Value is
+	// the chosen window size.
+	KindWindowFixed
+	// KindSemiWarmEnter marks a container entering the §6 semi-warm period.
+	KindSemiWarmEnter
+	// KindSemiWarmExit spans the completed semi-warm period (enter → reuse
+	// or recycle).
+	KindSemiWarmExit
+	// KindLinkTransfer spans a bulk transfer occupying the pool link. Value
+	// is the bytes moved; Aux is the rmem.Direction (0 offload, 1 recall).
+	KindLinkTransfer
+	// KindLinkSaturation marks a fault served while link utilization was
+	// past the saturation point. Value is utilization in percent.
+	KindLinkSaturation
+	// KindSwapFull marks a swap-device allocation that was truncated for
+	// lack of free slots. Value is the pages denied.
+	KindSwapFull
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindNone:             "none",
+	KindContainerLaunch:  "container-launch",
+	KindRuntimeLoaded:    "runtime-loaded",
+	KindInitDone:         "init-done",
+	KindRequest:          "request",
+	KindRequestQueued:    "request-queued",
+	KindContainerIdle:    "container-idle",
+	KindContainerRecycle: "container-recycle",
+	KindContainerEvict:   "container-evict",
+	KindBarrierInsert:    "barrier-insert",
+	KindPageOffload:      "page-offload",
+	KindPucketOffload:    "pucket-offload",
+	KindPageFault:        "page-fault",
+	KindRollback:         "rollback",
+	KindWindowFixed:      "window-fixed",
+	KindSemiWarmEnter:    "semiwarm-enter",
+	KindSemiWarmExit:     "semiwarm-exit",
+	KindLinkTransfer:     "link-transfer",
+	KindLinkSaturation:   "link-saturation",
+	KindSwapFull:         "swap-full",
+}
+
+// String names the kind for dumps and trace viewers.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Stage labels which lifecycle segment of a container an event concerns —
+// the paper's Runtime Pucket, Init Pucket, or unmonitored execution segment.
+type Stage uint8
+
+// The lifecycle stages.
+const (
+	// StageNone is for events without a segment association.
+	StageNone Stage = iota
+	// StageRuntime is the runtime segment (Runtime Pucket).
+	StageRuntime
+	// StageInit is the init segment (Init Pucket).
+	StageInit
+	// StageExec is the unmonitored execution segment.
+	StageExec
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageRuntime:
+		return "runtime"
+	case StageInit:
+		return "init"
+	case StageExec:
+		return "exec"
+	default:
+		return ""
+	}
+}
+
+// Event is one traced occurrence on the virtual timeline. Events with
+// Dur > 0 are spans (At is the span start); events with Dur == 0 are
+// instants.
+type Event struct {
+	// At is the event's virtual time (span start for durable events).
+	At simtime.Time
+	// Dur is the span length, 0 for instant events.
+	Dur time.Duration
+	// Value is the kind-specific primary quantity (pages, bytes, window…).
+	Value int64
+	// Aux is the kind-specific secondary quantity.
+	Aux int64
+	// Actor is the track the event belongs to: a container ID, "link", or
+	// "node".
+	Actor string
+	// Fn is the function the event concerns, if any.
+	Fn string
+	// Kind is the event type.
+	Kind Kind
+	// Stage is the lifecycle segment the event concerns, if any.
+	Stage Stage
+}
+
+// DefaultCapacity is the tracer ring size used when none is given: 64 Ki
+// events ≈ 4.5 MB.
+const DefaultCapacity = 1 << 16
+
+// Tracer records events into a fixed-capacity ring. A nil *Tracer is the
+// disabled tracer: Record is a zero-allocation no-op, so call sites never
+// need to branch. Construct with NewTracer.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int    // write position once the ring is full
+	total uint64 // events ever recorded
+}
+
+// NewTracer creates a tracer holding at most capacity events; capacity <= 0
+// selects DefaultCapacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether the tracer records anything. It is the documented
+// way to guard work that exists only to build an event (e.g. classifying
+// offloaded pages by stage).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Record stores one event, overwriting the oldest once the ring is full.
+// Safe for concurrent use; no-op on a nil tracer.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+		}
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total returns how many events were ever recorded.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(len(t.ring))
+}
+
+// Events returns a copy of the held events in recording order. Exporters
+// sort by At themselves: link-transfer spans are recorded at reservation
+// time but may start later than subsequently recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Reset drops all held events and the drop counter, keeping the capacity.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.total = 0
+	t.mu.Unlock()
+}
+
+// Hub bundles the tracer and metric registry a simulation is instrumented
+// with. The zero Hub is fully disabled; either field may be nil
+// independently.
+type Hub struct {
+	// Tracer receives events; nil disables tracing.
+	Tracer *Tracer
+	// Reg hosts counters and gauges; nil disables metrics.
+	Reg *Registry
+}
+
+// Enabled reports whether any telemetry sink is attached.
+func (h Hub) Enabled() bool { return h.Tracer != nil || h.Reg != nil }
+
+var defaultHub struct {
+	mu sync.RWMutex
+	h  Hub
+}
+
+// SetDefault installs the process-wide fallback hub used by runs that were
+// not given one explicitly (cmd/experiments wires its -trace flags here so
+// every harness is captured without threading a hub through each figure).
+func SetDefault(h Hub) {
+	defaultHub.mu.Lock()
+	defaultHub.h = h
+	defaultHub.mu.Unlock()
+}
+
+// Default returns the process-wide fallback hub (zero Hub when unset).
+func Default() Hub {
+	defaultHub.mu.RLock()
+	defer defaultHub.mu.RUnlock()
+	return defaultHub.h
+}
+
+// OrDefault returns h when any sink is attached and the process default
+// otherwise.
+func (h Hub) OrDefault() Hub {
+	if h.Enabled() {
+		return h
+	}
+	return Default()
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText renders the tracer's events as an aligned human-readable log,
+// one line per event in virtual-time order — the quick look the -trace flag
+// gives without leaving the terminal.
+func WriteText(w io.Writer, t *Tracer) error {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		if _, err := fmt.Fprintln(w, formatEvent(ev)); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "... %d earlier events dropped (ring capacity %d)\n", d, t.Len()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatEvent(ev Event) string {
+	s := fmt.Sprintf("[%14.6fs] %-18s %-20s", ev.At.Seconds(), ev.Kind, ev.Actor)
+	if ev.Fn != "" {
+		s += " fn=" + ev.Fn
+	}
+	if ev.Stage != StageNone {
+		s += " stage=" + ev.Stage.String()
+	}
+	if ev.Value != 0 {
+		s += fmt.Sprintf(" value=%d", ev.Value)
+	}
+	if ev.Aux != 0 {
+		s += fmt.Sprintf(" aux=%d", ev.Aux)
+	}
+	if ev.Dur > 0 {
+		s += fmt.Sprintf(" dur=%s", ev.Dur.Round(time.Microsecond))
+	}
+	return s
+}
