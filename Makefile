@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments experiments-quick examples trace-demo clean
+.PHONY: all build test vet bench bench-json experiments experiments-quick examples trace-demo clean
 
 all: build vet test
 
@@ -21,6 +21,13 @@ test-log:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Tier-1 figure/table benchmarks plus the page-engine micro-benches, snapshotted
+# as machine-readable JSON (the CI perf artifact; see cmd/benchjson).
+BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout
+bench-json:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -o BENCH_2.json
+	@echo "wrote BENCH_2.json"
 
 # Regenerate every figure/table at paper scale (see EXPERIMENTS.md).
 experiments:
@@ -46,4 +53,4 @@ examples:
 	$(GO) run ./examples/sweep > /dev/null
 
 clean:
-	rm -rf results test_output.txt bench_output.txt faasmem-trace.json
+	rm -rf results test_output.txt bench_output.txt bench_gate.txt faasmem-trace.json

@@ -271,6 +271,88 @@ func BenchmarkAblationPolicies(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------- fast path
+
+// BenchmarkBarrierInsert measures time-barrier insertion on the range-run
+// LRU: each iteration faults in a fresh 1 MB allocation and seals it, so the
+// cost per barrier stays O(1) no matter how many pages the space holds.
+func BenchmarkBarrierInsert(b *testing.B) {
+	space := pagemem.NewSpace(pagemem.DefaultPageSize)
+	lru := mglru.New(space)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space.AllocBytes(pagemem.SegInit, 1<<20)
+		lru.InsertBarrier()
+	}
+}
+
+// BenchmarkPucketOffloadScan measures the victim scan behind
+// Pucket.OffloadInactive: collecting the inactive list of a mostly-offloaded
+// Bert-sized segment. The Inactive bitset lets the scan skip the offloaded
+// majority word-at-a-time.
+func BenchmarkPucketOffloadScan(b *testing.B) {
+	prof := workload.Bert()
+	space := pagemem.NewSpace(pagemem.DefaultPageSize)
+	lru := mglru.New(space)
+	space.AllocBytes(pagemem.SegInit, prof.InitBytes)
+	_, seg := lru.InsertBarrier()
+	// Leave every 64th page inactive; the rest are already remote.
+	for id := seg.Start; id < seg.End; id++ {
+		if (id-seg.Start)%64 != 0 {
+			space.SetState(id, pagemem.Remote)
+		}
+	}
+	var ids []pagemem.PageID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids = space.CollectInState(ids[:0], seg, pagemem.Inactive, 0)
+		if len(ids) == 0 {
+			b.Fatal("no victims")
+		}
+	}
+}
+
+// BenchmarkHarnessParallelFanout runs the same 8-scenario grid through the
+// experiment harness's worker pool at width 1 and at GOMAXPROCS, verifying
+// the fan-out path and exposing its scaling on multi-core hosts.
+func BenchmarkHarnessParallelFanout(b *testing.B) {
+	prof := workload.ByName("json")
+	inv := experiments.HighLoadInvocations(6*time.Minute, 9)
+	scs := make([]experiments.Scenario, 8)
+	for i := range scs {
+		scs[i] = experiments.Scenario{
+			Profile:     prof,
+			Invocations: inv,
+			Duration:    6 * time.Minute,
+			Policy:      experiments.FaaSMem,
+			SeedHistory: true,
+			Seed:        int64(i),
+		}
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		// Names avoid a trailing "-N": that's go test's GOMAXPROCS suffix,
+		// which cmd/benchjson strips for cross-machine key stability.
+		{"serial", 1},
+		{"maxprocs", 0}, // 0 restores the GOMAXPROCS default
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			experiments.SetWorkers(cfg.workers)
+			defer experiments.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				outs := experiments.RunScenarios(scs)
+				if len(outs) != len(scs) || outs[0].Requests == 0 {
+					b.Fatal("bad outcomes")
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------- substrate
 
 // BenchmarkTouchHotSet measures the page-touch hot path that dominates

@@ -1,0 +1,218 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON document, one entry per benchmark with its ns/op, B/op, allocs/op and
+// any custom ReportMetric units. The CI regression gate and `make bench-json`
+// use it to snapshot benchmark results (BENCH_2.json) so perf changes show up
+// in review as a diff instead of a buried log line.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_2.json
+//	benchjson -o BENCH_2.json bench_output.txt
+//
+// Lines that are not benchmark results (test chatter, PASS/ok trailers) are
+// ignored, so the full `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's parsed measurements. Metrics maps the unit
+// string (e.g. "ns/op", "B/op", "avgMB") to its value.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document. When a baseline snapshot is supplied the
+// prior results are embedded and per-benchmark ns/op speedups computed, so
+// the regression gate is one file.
+type Doc struct {
+	Benchmarks []Result `json:"benchmarks"`
+	Baseline   []Result `json:"baseline,omitempty"`
+	// SpeedupVsBaseline maps benchmark name to baseline ns/op ÷ current
+	// ns/op (> 1 means faster now).
+	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// gomaxprocsSuffix strips the trailing "-N" CPU count go test appends, so the
+// JSON keys stay stable across machines with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	baseline := flag.String("baseline", "", "prior benchjson snapshot to embed and compute ns/op speedups against (missing file is skipped)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	results, err := Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	doc := Doc{Benchmarks: results}
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "benchjson: baseline %s not found, skipping comparison\n", *baseline)
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			doc.Baseline = base
+			doc.SpeedupVsBaseline = speedups(base, results)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// loadBaseline reads a prior snapshot — either a Doc or a bare result list.
+func loadBaseline(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err == nil && len(doc.Benchmarks) > 0 {
+		return doc.Benchmarks, nil
+	}
+	var list []Result
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("benchjson: %s is neither a snapshot document nor a result list: %v", path, err)
+	}
+	return list, nil
+}
+
+// speedups computes baseline ns/op ÷ current ns/op for benchmarks present in
+// both snapshots.
+func speedups(base, cur []Result) map[string]float64 {
+	baseNs := make(map[string]float64, len(base))
+	for _, r := range base {
+		if r.NsPerOp > 0 {
+			baseNs[r.Name] = r.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for _, r := range cur {
+		if b, ok := baseNs[r.Name]; ok && r.NsPerOp > 0 {
+			out[r.Name] = b / r.NsPerOp
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Parse reads a `go test -bench` stream and returns the benchmark results in
+// name order. A benchmark appearing twice (e.g. from multiple packages or
+// -count>1) keeps the last occurrence.
+func Parse(r io.Reader) ([]Result, error) {
+	byName := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if ok {
+			byName[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]Result, len(names))
+	for i, name := range names {
+		results[i] = byName[name]
+	}
+	return results, nil
+}
+
+// parseLine decodes one "BenchmarkX-8   123   456 ns/op   789 B/op ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{
+		Name:       gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+		Iterations: iters,
+	}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if res.NsPerOp == 0 && res.Metrics == nil && res.BytesPerOp == 0 {
+		return Result{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: github.com/faasmem/faasmem
+BenchmarkFig1KeepAliveSweep-4   	       3	  33521969 ns/op	23327176 B/op	   46988 allocs/op
+BenchmarkAblationPolicies/baseline-4         	      10	   1200000 ns/op
+BenchmarkAblationRequestWindow/adaptive-4    	       5	   2000000 ns/op	       512.0 avgMB	       42.0 faults
+some unrelated log line
+PASS
+ok  	github.com/faasmem/faasmem	12.3s
+`
+	results, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	fig1, ok := byName["Fig1KeepAliveSweep"]
+	if !ok {
+		t.Fatalf("Fig1KeepAliveSweep missing (GOMAXPROCS suffix not stripped?): %+v", results)
+	}
+	if fig1.Iterations != 3 || fig1.NsPerOp != 33521969 || fig1.BytesPerOp != 23327176 || fig1.AllocsOp != 46988 {
+		t.Errorf("Fig1 parsed wrong: %+v", fig1)
+	}
+	if _, ok := byName["AblationPolicies/baseline"]; !ok {
+		t.Errorf("sub-benchmark name not preserved: %+v", results)
+	}
+	rw := byName["AblationRequestWindow/adaptive"]
+	if rw.Metrics["avgMB"] != 512 || rw.Metrics["faults"] != 42 {
+		t.Errorf("custom metrics not captured: %+v", rw)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	base := []Result{
+		{Name: "Fig1KeepAliveSweep", NsPerOp: 33521969},
+		{Name: "OnlyInBaseline", NsPerOp: 100},
+	}
+	cur := []Result{
+		{Name: "Fig1KeepAliveSweep", NsPerOp: 10182569},
+		{Name: "OnlyInCurrent", NsPerOp: 50},
+	}
+	s := speedups(base, cur)
+	if len(s) != 1 {
+		t.Fatalf("speedups = %v, want 1 shared entry", s)
+	}
+	if got := s["Fig1KeepAliveSweep"]; got < 3.0 || got > 3.6 {
+		t.Errorf("Fig1 speedup = %.2f, want ~3.29", got)
+	}
+}
+
+func TestParseLineRejectsChatter(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	github.com/faasmem/faasmem	12.3s",
+		"Benchmarking is fun",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-only fig12,table1] [-quick] [-seed 42] [-json dir] [-svg dir] [-parallel N]
+//	experiments [-only fig12,table1] [-quick] [-seed 42] [-json dir] [-svg dir]
+//	            [-parallel N] [-scenario-workers N] [-cpuprofile f] [-memprofile f]
 //
 // With -quick, durations and trace sizes shrink so the full suite finishes
 // in seconds; without it, the defaults match the paper-scale windows
 // (1-hour traces, 424-function studies). Experiments run in parallel worker
-// goroutines (each simulation itself is single-threaded and deterministic);
-// output is buffered and printed in canonical order.
+// goroutines (-parallel), and each figure's scenario grid additionally fans
+// out across a scenario-level pool (-scenario-workers, default GOMAXPROCS);
+// every simulation is single-threaded and deterministic and rows assemble in
+// canonical order, so output is identical at any width. -cpuprofile and
+// -memprofile capture pprof profiles of the run.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -43,9 +48,37 @@ func main() {
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
 	svgDir := flag.String("svg", "", "also write SVG charts of the main figures into this directory (like the artifact's draw scripts)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "number of experiments to run concurrently")
+	scenarioWorkers := flag.Int("scenario-workers", 0, "scenario-level fan-out inside each figure's grid (0 = GOMAXPROCS); rows are identical for any width")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	traceOut := flag.String("trace-out", "", "record every harness's simulation events into one Chrome trace-event JSON file; most useful with -only naming a single experiment (parallel experiments interleave in the shared ring)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity for -trace-out")
 	flag.Parse()
+
+	experiments.SetWorkers(*scenarioWorkers)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	for _, dir := range []string{*jsonDir, *svgDir} {
 		if dir != "" {

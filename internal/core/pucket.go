@@ -36,9 +36,11 @@ func (p Pucket) RemotePages(s *pagemem.Space) int {
 }
 
 // OffloadInactive offloads the whole inactive list through the view and
-// returns how many pages actually moved (the pool/link may truncate).
+// returns how many pages actually moved (the pool/link may truncate). The
+// victim scan walks the Inactive bitset word-at-a-time, so a fully hot or
+// fully offloaded Pucket costs O(words).
 func (p Pucket) OffloadInactive(e *simtime.Engine, v policy.View) int {
-	ids := policy.CollectPages(v.Space(), p.Seg, pagemem.Inactive, 0)
+	ids := v.Space().CollectInState(nil, p.Seg, pagemem.Inactive, 0)
 	if len(ids) == 0 {
 		return 0
 	}
@@ -67,16 +69,11 @@ func (p Pucket) stage(v policy.View) telemetry.Stage {
 
 // Rollback demotes every hot-pool page of this Pucket back to its inactive
 // list (clearing access bits so the next request-window re-evaluates them)
-// and returns the number of pages rolled back.
+// and returns the number of pages rolled back. Non-hot pages are skipped
+// word-at-a-time via the Hot-state bitset.
 func (p Pucket) Rollback(s *pagemem.Space, lru *mglru.LRU) int {
-	n := 0
-	for id := p.Seg.Start; id < p.Seg.End; id++ {
-		if s.State(id) == pagemem.Hot {
-			s.SetState(id, pagemem.Inactive)
-			s.ClearAccessed(id)
-			lru.Demote(id, p.Gen)
-			n++
-		}
-	}
-	return n
+	return s.TransitionRange(p.Seg, pagemem.Hot, pagemem.Inactive, func(id pagemem.PageID) {
+		s.ClearAccessed(id)
+		lru.Demote(id, p.Gen)
+	})
 }

@@ -54,18 +54,17 @@ func Fig13(opt Fig13Options) []Fig13Row {
 	prof := workload.Bert()
 	variants := []PolicyKind{Baseline, FaaSMem, FaaSMemNoPucket, FaaSMemNoSemi}
 
-	var rows []Fig13Row
-	for _, cs := range []struct {
+	cases := []struct {
 		name   string
 		bursty bool
 		gap    time.Duration
 	}{
 		{"common", false, 15 * time.Second},
 		{"bursty", true, 10 * time.Second},
-	} {
+	}
+	var scs []Scenario
+	for _, cs := range cases {
 		inv := trace.GenerateFunction("bert", opt.Duration, cs.gap, cs.bursty, opt.Seed).Invocations
-		var fmMem float64
-		var caseRows []Fig13Row
 		for _, v := range variants {
 			sc := Scenario{
 				Profile:     prof,
@@ -79,7 +78,18 @@ func Fig13(opt Fig13Options) []Fig13Row {
 			if opt.WithTimeline && cs.name == "common" {
 				sc.MemTimeline = &metrics.Series{}
 			}
-			out := RunScenario(sc)
+			scs = append(scs, sc)
+		}
+	}
+	outs := RunScenarios(scs)
+
+	var rows []Fig13Row
+	i := 0
+	for _, cs := range cases {
+		var fmMem float64
+		var caseRows []Fig13Row
+		for _, v := range variants {
+			out := outs[i]
 			row := Fig13Row{
 				Case:     cs.name,
 				Variant:  v,
@@ -88,16 +98,17 @@ func Fig13(opt Fig13Options) []Fig13Row {
 				P95:      out.P95,
 				P99:      out.P99,
 				AvgMemMB: out.AvgLocalMB,
-				Timeline: sc.MemTimeline,
+				Timeline: scs[i].MemTimeline,
 			}
+			i++
 			if v == FaaSMem {
 				fmMem = out.AvgLocalMB
 			}
 			caseRows = append(caseRows, row)
 		}
-		for i := range caseRows {
+		for j := range caseRows {
 			if fmMem > 0 {
-				caseRows[i].MemVsFaaSMem = caseRows[i].AvgMemMB / fmMem
+				caseRows[j].MemVsFaaSMem = caseRows[j].AvgMemMB / fmMem
 			}
 		}
 		rows = append(rows, caseRows...)

@@ -58,7 +58,14 @@ func Fig16(opt Fig16Options) []Fig16Row {
 	if len(apps) == 0 {
 		apps = []string{"bert", "graph", "web"}
 	}
-	var rows []Fig16Row
+	type cell struct {
+		app  string
+		prof *workload.Profile
+		id   int
+		fn   *trace.Function
+	}
+	var cells []cell
+	var scs []Scenario
 	for _, app := range apps {
 		prof := workload.ByName(app)
 		for id := 0; id < opt.Traces; id++ {
@@ -70,7 +77,8 @@ func Fig16(opt Fig16Options) []Fig16Row {
 			if len(fn.Invocations) < 2 {
 				continue
 			}
-			out := RunScenario(Scenario{
+			cells = append(cells, cell{app: app, prof: prof, id: id, fn: fn})
+			scs = append(scs, Scenario{
 				Profile:     prof,
 				Invocations: fn.Invocations,
 				Duration:    opt.Duration,
@@ -79,28 +87,34 @@ func Fig16(opt Fig16Options) []Fig16Row {
 				SeedHistory: true,
 				Seed:        seed,
 			})
-			// Density accounting (§8.6): the average offloaded amount per
-			// live container reduces the schedulable quota.
-			quotaMB := float64(prof.QuotaBytes) / 1e6
-			offloadPerContainerMB := 0.0
-			if out.LiveAvg > 0 {
-				offloadPerContainerMB = out.AvgRemoteMB / out.LiveAvg
-			}
-			newQuota := quotaMB - offloadPerContainerMB
-			density := 1.0
-			if newQuota > 0 {
-				density = quotaMB / newQuota
-			}
-			st := fn.Intervals()
-			rows = append(rows, Fig16Row{
-				App:              app,
-				TraceID:          id + 1,
-				ReqPerMinute:     fn.RequestsPerMinute(opt.Duration),
-				IntervalSigmaSec: st.Stddev.Seconds(),
-				BandwidthMBps:    out.OffloadBWMBps,
-				Density:          density,
-			})
 		}
+	}
+	outs := RunScenarios(scs)
+
+	var rows []Fig16Row
+	for i, c := range cells {
+		out := outs[i]
+		// Density accounting (§8.6): the average offloaded amount per
+		// live container reduces the schedulable quota.
+		quotaMB := float64(c.prof.QuotaBytes) / 1e6
+		offloadPerContainerMB := 0.0
+		if out.LiveAvg > 0 {
+			offloadPerContainerMB = out.AvgRemoteMB / out.LiveAvg
+		}
+		newQuota := quotaMB - offloadPerContainerMB
+		density := 1.0
+		if newQuota > 0 {
+			density = quotaMB / newQuota
+		}
+		st := c.fn.Intervals()
+		rows = append(rows, Fig16Row{
+			App:              c.app,
+			TraceID:          c.id + 1,
+			ReqPerMinute:     c.fn.RequestsPerMinute(opt.Duration),
+			IntervalSigmaSec: st.Stddev.Seconds(),
+			BandwidthMBps:    out.OffloadBWMBps,
+			Density:          density,
+		})
 	}
 	return rows
 }

@@ -57,9 +57,9 @@ func PoolComparison(opt PoolComparisonOptions) []PoolRow {
 		{"cxl", rmem.CXLConfig()},
 		{"ssd", rmem.SSDConfig()},
 	}
-	var rows []PoolRow
-	for _, pl := range pools {
-		out := RunScenario(Scenario{
+	scs := make([]Scenario, len(pools))
+	for i, pl := range pools {
+		scs[i] = Scenario{
 			Profile:     prof,
 			Invocations: inv,
 			Duration:    opt.Duration,
@@ -67,7 +67,12 @@ func PoolComparison(opt PoolComparisonOptions) []PoolRow {
 			SeedHistory: true,
 			Seed:        opt.Seed,
 			Pool:        pl.cfg,
-		})
+		}
+	}
+	outs := RunScenarios(scs)
+	var rows []PoolRow
+	for i, pl := range pools {
+		out := outs[i]
 		rows = append(rows, PoolRow{
 			Pool:        pl.name,
 			P95:         out.P95,
@@ -119,14 +124,15 @@ func ColdStartTiming(opt ColdStartTimingOptions) []ColdStartTimingRow {
 		opt.Duration = 20 * time.Minute
 	}
 	prof := workload.Bert()
-	var rows []ColdStartTimingRow
-	for _, cs := range []struct {
+	cases := []struct {
 		name   string
 		bursty bool
-	}{{"common", false}, {"bursty", true}} {
+	}{{"common", false}, {"bursty", true}}
+	var scs []Scenario
+	for _, cs := range cases {
 		inv := trace.GenerateFunction("bert", opt.Duration, 12*time.Second, cs.bursty, opt.Seed).Invocations
 		for _, corrected := range []bool{false, true} {
-			out := RunScenario(Scenario{
+			scs = append(scs, Scenario{
 				Profile:     prof,
 				Invocations: inv,
 				Duration:    opt.Duration,
@@ -135,6 +141,15 @@ func ColdStartTiming(opt ColdStartTimingOptions) []ColdStartTimingRow {
 				SeedHistory: true,
 				Seed:        opt.Seed,
 			})
+		}
+	}
+	outs := RunScenarios(scs)
+	var rows []ColdStartTimingRow
+	i := 0
+	for _, cs := range cases {
+		for _, corrected := range []bool{false, true} {
+			out := outs[i]
+			i++
 			rows = append(rows, ColdStartTimingRow{
 				Case:      cs.name,
 				Corrected: corrected,
@@ -191,9 +206,10 @@ func Readahead(opt ReadaheadOptions) []ReadaheadRow {
 	}
 	prof := workload.Bert()
 	inv := trace.GenerateFunction("bert", opt.Duration, 12*time.Second, true, opt.Seed).Invocations
-	var rows []ReadaheadRow
-	for _, window := range []int{0, 2, 8, 32} {
-		out := RunScenario(Scenario{
+	windows := []int{0, 2, 8, 32}
+	scs := make([]Scenario, len(windows))
+	for i, window := range windows {
+		scs[i] = Scenario{
 			Profile:     prof,
 			Invocations: inv,
 			Duration:    opt.Duration,
@@ -201,12 +217,16 @@ func Readahead(opt ReadaheadOptions) []ReadaheadRow {
 			SeedHistory: true,
 			Seed:        opt.Seed,
 			Swap:        fastswap.Config{ReadaheadPages: window},
-		})
+		}
+	}
+	outs := RunScenarios(scs)
+	var rows []ReadaheadRow
+	for i, window := range windows {
 		rows = append(rows, ReadaheadRow{
 			Window:     window,
-			P95:        out.P95,
-			P99:        out.P99,
-			FaultPages: out.FaultPages,
+			P95:        outs[i].P95,
+			P99:        outs[i].P99,
+			FaultPages: outs[i].FaultPages,
 		})
 	}
 	return rows
@@ -253,9 +273,10 @@ func PercentileSweep(opt PercentileSweepOptions) []PercentileRow {
 	}
 	prof := workload.Bert()
 	inv := trace.GenerateFunction("bert", opt.Duration, 15*time.Second, false, opt.Seed).Invocations
-	var rows []PercentileRow
-	for _, pct := range []float64{50, 90, 95, 99} {
-		out := RunScenario(Scenario{
+	pcts := []float64{50, 90, 95, 99}
+	scs := make([]Scenario, len(pcts))
+	for i, pct := range pcts {
+		scs[i] = Scenario{
 			Profile:     prof,
 			Invocations: inv,
 			Duration:    opt.Duration,
@@ -263,13 +284,17 @@ func PercentileSweep(opt PercentileSweepOptions) []PercentileRow {
 			CoreConfig:  core.Config{SemiWarmPercentile: pct},
 			SeedHistory: true,
 			Seed:        opt.Seed,
-		})
+		}
+	}
+	outs := RunScenarios(scs)
+	var rows []PercentileRow
+	for i, pct := range pcts {
 		rows = append(rows, PercentileRow{
 			Percentile:     pct,
-			P95:            out.P95,
-			P99:            out.P99,
-			AvgMemMB:       out.AvgLocalMB,
-			SemiWarmStarts: out.SemiWarmStarts,
+			P95:            outs[i].P95,
+			P99:            outs[i].P99,
+			AvgMemMB:       outs[i].AvgLocalMB,
+			SemiWarmStarts: outs[i].SemiWarmStarts,
 		})
 	}
 	return rows

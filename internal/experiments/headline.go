@@ -48,12 +48,18 @@ func Fig2(opt Fig2Options) []Fig2Row {
 	if len(benches) == 0 {
 		benches = workload.Names()
 	}
-	var rows []Fig2Row
+	scs := make([]Scenario, 0, 2*len(benches))
 	for i, name := range benches {
 		prof := workload.ByName(name)
 		inv := trace.GenerateFunction(name, opt.Duration, opt.MeanGap, false, opt.Seed+int64(i)).Invocations
-		base := RunScenario(Scenario{Profile: prof, Invocations: inv, Duration: opt.Duration, Policy: Baseline, Seed: opt.Seed})
-		damon := RunScenario(Scenario{Profile: prof, Invocations: inv, Duration: opt.Duration, Policy: DAMON, Seed: opt.Seed})
+		scs = append(scs,
+			Scenario{Profile: prof, Invocations: inv, Duration: opt.Duration, Policy: Baseline, Seed: opt.Seed},
+			Scenario{Profile: prof, Invocations: inv, Duration: opt.Duration, Policy: DAMON, Seed: opt.Seed})
+	}
+	outs := RunScenarios(scs)
+	var rows []Fig2Row
+	for i, name := range benches {
+		base, damon := outs[2*i], outs[2*i+1]
 		slow := 0.0
 		if base.P95 > 0 {
 			slow = damon.P95 / base.P95
@@ -108,20 +114,25 @@ func Fig8(opt Fig8Options) []Fig8Row {
 	if opt.Gap <= 0 {
 		opt.Gap = time.Second
 	}
-	var rows []Fig8Row
-	for _, prof := range workload.Profiles() {
+	profs := workload.Profiles()
+	scs := make([]Scenario, len(profs))
+	for i, prof := range profs {
 		var inv []time.Duration
-		for i := 0; i <= opt.Requests; i++ {
-			inv = append(inv, time.Duration(i)*opt.Gap)
+		for j := 0; j <= opt.Requests; j++ {
+			inv = append(inv, time.Duration(j)*opt.Gap)
 		}
-		out := RunScenario(Scenario{
+		scs[i] = Scenario{
 			Profile:     prof,
 			Invocations: inv,
 			Duration:    time.Duration(opt.Requests+2) * opt.Gap,
 			Policy:      FaaSMemNoSemi, // isolate the Pucket mechanisms
 			Seed:        opt.Seed,
-		})
-		rows = append(rows, Fig8Row{Bench: prof.Name, RecallPages: out.RuntimeFaultPages, Requests: out.Requests})
+		}
+	}
+	outs := RunScenarios(scs)
+	var rows []Fig8Row
+	for i, prof := range profs {
+		rows = append(rows, Fig8Row{Bench: prof.Name, RecallPages: outs[i].RuntimeFaultPages, Requests: outs[i].Requests})
 	}
 	return rows
 }
@@ -187,7 +198,10 @@ func Fig12(opt Fig12Options) []Fig12Row {
 		policies = []PolicyKind{Baseline, TMO, FaaSMem}
 	}
 
-	var rows []Fig12Row
+	// Flatten the load×bench×policy grid into independent scenarios, fan them
+	// out, then assemble rows serially in grid order so the baseline
+	// normalization and row ordering match a serial run exactly.
+	var scs []Scenario
 	for li, load := range []string{"high", "low"} {
 		for bi, name := range benches {
 			prof := workload.ByName(name)
@@ -198,9 +212,8 @@ func Fig12(opt Fig12Options) []Fig12Row {
 			} else {
 				inv = LowLoadInvocations(opt.Duration, seed)
 			}
-			var base Fig12Row
 			for _, pk := range policies {
-				out := RunScenario(Scenario{
+				scs = append(scs, Scenario{
 					Profile:     prof,
 					Invocations: inv,
 					Duration:    opt.Duration,
@@ -209,6 +222,19 @@ func Fig12(opt Fig12Options) []Fig12Row {
 					SeedHistory: true,
 					Seed:        seed,
 				})
+			}
+		}
+	}
+	outs := RunScenarios(scs)
+
+	var rows []Fig12Row
+	i := 0
+	for _, load := range []string{"high", "low"} {
+		for _, name := range benches {
+			var base Fig12Row
+			for _, pk := range policies {
+				out := outs[i]
+				i++
 				row := Fig12Row{
 					Bench:      name,
 					Load:       load,
@@ -291,7 +317,8 @@ func Table1(opt Table1Options) []Table1Row {
 		opt.Traces = 6
 	}
 	apps := []string{"bert", "graph", "web"}
-	var rows []Table1Row
+	policies := []PolicyKind{Baseline, TMO, FaaSMem}
+	var scs []Scenario
 	for id := 1; id <= opt.Traces; id++ {
 		// ID 5 is the anomalous surge trace.
 		surge := id == 5
@@ -303,9 +330,8 @@ func Table1(opt Table1Options) []Table1Row {
 				gap = 2 * time.Second
 			}
 			inv := trace.GenerateFunction(app, opt.Duration, gap, surge, seed).Invocations
-			var baseMem float64
-			for _, pk := range []PolicyKind{Baseline, TMO, FaaSMem} {
-				out := RunScenario(Scenario{
+			for _, pk := range policies {
+				scs = append(scs, Scenario{
 					Profile:     prof,
 					Invocations: inv,
 					Duration:    opt.Duration,
@@ -314,6 +340,19 @@ func Table1(opt Table1Options) []Table1Row {
 					SeedHistory: true,
 					Seed:        seed,
 				})
+			}
+		}
+	}
+	outs := RunScenarios(scs)
+
+	var rows []Table1Row
+	i := 0
+	for id := 1; id <= opt.Traces; id++ {
+		for _, app := range apps {
+			var baseMem float64
+			for _, pk := range policies {
+				out := outs[i]
+				i++
 				row := Table1Row{
 					TraceID: id,
 					App:     app,

@@ -82,12 +82,18 @@ func KeepAliveStrategies(opt KeepAliveStrategiesOptions) []KeepAliveRow {
 		return row
 	}
 
-	return []KeepAliveRow{
-		run(false, Baseline),
-		run(false, FaaSMem),
-		run(true, Baseline),
-		run(true, FaaSMem),
+	cells := []struct {
+		adaptive bool
+		kind     PolicyKind
+	}{
+		{false, Baseline},
+		{false, FaaSMem},
+		{true, Baseline},
+		{true, FaaSMem},
 	}
+	rows := make([]KeepAliveRow, len(cells))
+	runGrid(len(cells), func(i int) { rows[i] = run(cells[i].adaptive, cells[i].kind) })
+	return rows
 }
 
 // PrintKeepAliveStrategies renders the composition study.

@@ -30,29 +30,37 @@ type Fig4Row struct {
 // flipped afterwards are the inactive runtime memory (paper: OpenWhisk
 // Python 24 MB, Java 57 MB; Azure > 100 MB each).
 func Fig4() []Fig4Row {
-	var rows []Fig4Row
+	type cell struct {
+		pl   workload.Platform
+		lang workload.Language
+	}
+	var cells []cell
 	for _, pl := range []workload.Platform{workload.OpenWhisk, workload.Azure} {
 		for _, lang := range []workload.Language{workload.NodeJS, workload.Python, workload.Java} {
-			prof := workload.HelloWorld(pl, lang)
-			e := simtime.NewEngine()
-			p := faas.New(e, faas.Config{KeepAliveTimeout: time.Minute, Seed: 1}, policy.NoOffload{})
-			f := p.Register(prof.Name, prof)
-			p.ScheduleInvocations(prof.Name, []simtime.Time{0})
-			e.RunUntil(30 * time.Second)
-			if f.LiveContainers() != 1 {
-				panic("fig4: container did not survive to measurement")
-			}
-			// Inactive pages of the runtime segment = allocated during
-			// runtime loading, never re-accessed.
-			c := findContainer(f)
-			inactive := c.Space().CountInRange(c.RuntimeRange(), pagemem.Inactive)
-			rows = append(rows, Fig4Row{
-				Platform:   pl,
-				Language:   lang,
-				InactiveMB: float64(inactive) * float64(c.Space().PageSize()) / 1e6,
-			})
+			cells = append(cells, cell{pl, lang})
 		}
 	}
+	rows := make([]Fig4Row, len(cells))
+	runGrid(len(cells), func(i int) {
+		prof := workload.HelloWorld(cells[i].pl, cells[i].lang)
+		e := simtime.NewEngine()
+		p := faas.New(e, faas.Config{KeepAliveTimeout: time.Minute, Seed: 1}, policy.NoOffload{})
+		f := p.Register(prof.Name, prof)
+		p.ScheduleInvocations(prof.Name, []simtime.Time{0})
+		e.RunUntil(30 * time.Second)
+		if f.LiveContainers() != 1 {
+			panic("fig4: container did not survive to measurement")
+		}
+		// Inactive pages of the runtime segment = allocated during
+		// runtime loading, never re-accessed.
+		c := findContainer(f)
+		inactive := c.Space().CountInRange(c.RuntimeRange(), pagemem.Inactive)
+		rows[i] = Fig4Row{
+			Platform:   cells[i].pl,
+			Language:   cells[i].lang,
+			InactiveMB: float64(inactive) * float64(c.Space().PageSize()) / 1e6,
+		}
+	})
 	return rows
 }
 

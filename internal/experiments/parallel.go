@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount holds the scenario-level fan-out width; 0 means GOMAXPROCS.
+var workerCount atomic.Int64
+
+// SetWorkers sets how many scenarios the figure harnesses simulate
+// concurrently. n <= 0 restores the default (GOMAXPROCS). Every grid cell is
+// an independent deterministic simulation and results land in
+// index-addressed slots, so the emitted rows are identical for any width —
+// only wall-clock changes.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerCount.Store(int64(n))
+}
+
+// Workers reports the current scenario fan-out width.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runGrid evaluates fn(0..n-1), sharding the indices across Workers()
+// goroutines. fn must write its result into a slot addressed by its own
+// index and must not touch other slots; post-processing (row assembly,
+// normalization against a baseline cell) stays with the caller, after the
+// barrier, so row order never depends on completion order.
+func runGrid(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunScenarios executes every scenario through RunScenario across the worker
+// pool and returns outcomes in input order.
+func RunScenarios(scs []Scenario) []Outcome {
+	outs := make([]Outcome, len(scs))
+	runGrid(len(scs), func(i int) { outs[i] = RunScenario(scs[i]) })
+	return outs
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// gridScenarios builds a small mixed grid: two benchmarks × every policy.
+func gridScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	inv := HighLoadInvocations(4*time.Minute, 11)
+	var scs []Scenario
+	for _, bench := range []string{"json", "web"} {
+		for _, pk := range PolicyKinds() {
+			scs = append(scs, Scenario{
+				Profile:     workload.ByName(bench),
+				Invocations: inv,
+				Duration:    4 * time.Minute,
+				KeepAlive:   2 * time.Minute,
+				Policy:      pk,
+				SeedHistory: true,
+				Seed:        11,
+			})
+		}
+	}
+	return scs
+}
+
+// TestRunScenariosDeterministicAcrossWidths is the fan-out contract: the same
+// grid produces identical outcomes at any worker width. Under -race this also
+// exercises the pool for data races.
+func TestRunScenariosDeterministicAcrossWidths(t *testing.T) {
+	scs := gridScenarios(t)
+	defer SetWorkers(0)
+
+	SetWorkers(1)
+	serial := RunScenarios(scs)
+	for _, w := range []int{2, 4, 8} {
+		SetWorkers(w)
+		got := RunScenarios(scs)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("outcomes differ between workers=1 and workers=%d", w)
+		}
+	}
+}
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after negative SetWorkers", Workers())
+	}
+}
+
+// TestRunGridCoversAllIndices checks the work-stealing counter hands every
+// index to exactly one worker.
+func TestRunGridCoversAllIndices(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	const n = 100
+	hits := make([]int, n)
+	runGrid(n, func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}

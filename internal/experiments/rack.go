@@ -105,7 +105,10 @@ func RackDensity(opt RackDensityOptions) []RackRow {
 		}
 		return row
 	}
-	return []RackRow{run(Baseline), run(FaaSMem)}
+	kinds := []PolicyKind{Baseline, FaaSMem}
+	rows := make([]RackRow, len(kinds))
+	runGrid(len(kinds), func(i int) { rows[i] = run(kinds[i]) })
+	return rows
 }
 
 // PrintRackDensity renders the rack study.

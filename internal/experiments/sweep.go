@@ -21,14 +21,15 @@ type SweepResult struct {
 	Outcome Outcome
 }
 
-// Sweep runs every point and collects outcomes in order. Sweeps are the
-// building block for sensitivity studies beyond the paper's fixed
-// configurations (keep-alive sweeps, bandwidth sweeps, timing sweeps).
+// Sweep runs every point across the scenario worker pool (see SetWorkers)
+// and collects outcomes in input order. Sweeps are the building block for
+// sensitivity studies beyond the paper's fixed configurations (keep-alive
+// sweeps, bandwidth sweeps, timing sweeps).
 func Sweep(points []SweepPoint) []SweepResult {
 	out := make([]SweepResult, len(points))
-	for i, pt := range points {
-		out[i] = SweepResult{Label: pt.Label, Outcome: RunScenario(pt.Scenario)}
-	}
+	runGrid(len(points), func(i int) {
+		out[i] = SweepResult{Label: points[i].Label, Outcome: RunScenario(points[i].Scenario)}
+	})
 	return out
 }
 

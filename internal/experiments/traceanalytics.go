@@ -75,17 +75,19 @@ func Fig1(opt Fig1Options) []Fig1Row {
 		}
 		durations[i] = d
 	}
-	rows := make([]Fig1Row, 0, len(timeouts))
-	for _, to := range timeouts {
-		res := trace.SimulateTraceKeepAliveFunc(tr, func(i int, _ *trace.Function) time.Duration {
+	// Each timeout's sweep reads only the shared trace and duration table,
+	// so the points fan out across the scenario worker pool.
+	rows := make([]Fig1Row, len(timeouts))
+	runGrid(len(timeouts), func(ti int) {
+		res := trace.SimulateTraceKeepAliveScalarsFunc(tr, func(i int, _ *trace.Function) time.Duration {
 			return durations[i]
-		}, to)
-		rows = append(rows, Fig1Row{
-			Timeout:          to,
+		}, timeouts[ti])
+		rows[ti] = Fig1Row{
+			Timeout:          timeouts[ti],
 			InactiveFraction: res.InactiveFraction(),
 			ColdStartRatio:   res.ColdStartRatio(),
-		})
-	}
+		}
+	})
 	return rows
 }
 

@@ -4,14 +4,21 @@
 // accessed pages are promoted to the youngest generation, and rolling back
 // hot pages corresponds to demoting them to an older generation.
 //
-// The kernel implementation walks LRU lists to stamp pages; this package
-// walks page-index ranges of a pagemem.Space, which has the same O(pages)
-// cost profile — the property measured by the paper's Figure 15 overhead
-// experiment.
+// The kernel implementation stamps pages in bulk when a barrier seals a
+// generation; this package matches that cost profile by representing
+// generations as contiguous *runs* of page IDs plus a small exception set.
+// Pages allocated between two barriers are contiguous by construction, so
+// AssignNew/SkipNew/InsertBarrier extend or append a run in O(1) amortized
+// time instead of stamping every page. Only pages that were individually promoted
+// or demoted (the access/rollback paths) leave their run, and those are
+// recorded in per-generation exception bitsets. The retired per-page
+// implementation survives as Reference (reference.go) and anchors the
+// differential tests.
 package mglru
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/faasmem/faasmem/internal/pagemem"
 )
@@ -23,13 +30,35 @@ type GenID int32
 // example exec-segment temporaries, which FaaSMem does not monitor).
 const NoGen GenID = -1
 
+// genRun is a maximal range of pages sharing a base generation. Its end is
+// implicit: the next run's start, or the tracked-page high-water mark for the
+// final run.
+type genRun struct {
+	start pagemem.PageID
+	gen   GenID
+}
+
 // LRU tracks the generation of every page in one address space.
+//
+// A page's current generation is its base run's generation unless an
+// exception bitset says otherwise: Promote/Demote move a page by flipping
+// exception bits rather than restamping runs, and a page whose current
+// generation returns to its base drops out of the exception set entirely.
 type LRU struct {
 	space *pagemem.Space
-	gen   []GenID // per-page generation, aligned with space page IDs
-	count []int   // pages per generation
-	// tracked is the number of space pages already covered by the gen slice.
+	runs  []genRun // base generation runs, sorted by start, covering [0, tracked)
+	count []int    // pages per generation
+	// exc[g] marks pages whose current generation g differs from their base
+	// run's generation; nil until generation g first receives an exception.
+	exc []*pagemem.Bitset
+	// excAny is the union of all exc bitsets: one probe decides whether a
+	// page's generation is just its base run's.
+	excAny pagemem.Bitset
+	// tracked is the number of space pages already covered by runs.
 	tracked int
+	// lastRun caches the most recently resolved run index; touch spans walk
+	// pages sequentially, so the cache hits almost always.
+	lastRun int
 	// promotions and demotions count cross-generation page moves — the
 	// MGLRU churn the telemetry layer surfaces.
 	promotions uint64
@@ -38,7 +67,7 @@ type LRU struct {
 
 // New creates an LRU over space with a single initial generation (ID 0).
 func New(space *pagemem.Space) *LRU {
-	return &LRU{space: space, count: make([]int, 1)}
+	return &LRU{space: space, count: make([]int, 1), exc: make([]*pagemem.Bitset, 1)}
 }
 
 // Space returns the underlying address space.
@@ -49,6 +78,10 @@ func (l *LRU) Youngest() GenID { return GenID(len(l.count) - 1) }
 
 // NumGenerations returns how many generations exist.
 func (l *LRU) NumGenerations() int { return len(l.count) }
+
+// NumRuns returns how many base-generation runs cover the tracked pages —
+// the O(runs) working set a barrier or scan actually touches.
+func (l *LRU) NumRuns() int { return len(l.runs) }
 
 // GenPages returns the number of pages currently stamped with generation g.
 func (l *LRU) GenPages(g GenID) int {
@@ -61,16 +94,17 @@ func (l *LRU) GenPages(g GenID) int {
 // AssignNew stamps every not-yet-tracked page of the space (pages allocated
 // since the last call) with the youngest generation and returns the covered
 // range. Pages allocated between barriers therefore share a generation,
-// exactly as faulted-in pages join the kernel's youngest generation.
+// exactly as faulted-in pages join the kernel's youngest generation. The
+// stamp is one run append (or extension) — O(1) regardless of page count.
 func (l *LRU) AssignNew() pagemem.Range {
 	start := pagemem.PageID(l.tracked)
 	end := pagemem.PageID(l.space.NumPages())
-	young := l.Youngest()
-	for id := start; id < end; id++ {
-		l.gen = append(l.gen, young)
-		l.count[young]++
+	if end > start {
+		young := l.Youngest()
+		l.appendRun(start, young)
+		l.count[young] += int(end - start)
+		l.tracked = int(end)
 	}
-	l.tracked = int(end)
 	return pagemem.Range{Start: start, End: end}
 }
 
@@ -80,32 +114,76 @@ func (l *LRU) AssignNew() pagemem.Range {
 func (l *LRU) SkipNew() pagemem.Range {
 	start := pagemem.PageID(l.tracked)
 	end := pagemem.PageID(l.space.NumPages())
-	for id := start; id < end; id++ {
-		l.gen = append(l.gen, NoGen)
+	if end > start {
+		l.appendRun(start, NoGen)
+		l.tracked = int(end)
 	}
-	l.tracked = int(end)
 	return pagemem.Range{Start: start, End: end}
+}
+
+// appendRun extends coverage to a new run starting at start. If the previous
+// run has the same generation the new pages merge into it for free, since
+// run ends are implicit.
+func (l *LRU) appendRun(start pagemem.PageID, g GenID) {
+	if n := len(l.runs); n > 0 && l.runs[n-1].gen == g {
+		return
+	}
+	l.runs = append(l.runs, genRun{start: start, gen: g})
 }
 
 // InsertBarrier closes the current youngest generation and opens a new one,
 // first stamping any untracked pages into the closing generation. It returns
 // the ID of the generation that was sealed (the new Pucket) and the range of
-// pages stamped by this call. The per-page stamping walk is the cost the
-// paper reports in Figure 15.
+// pages stamped by this call. Unlike the per-page reference, the barrier is
+// O(1): it never walks the pages it seals.
 func (l *LRU) InsertBarrier() (sealed GenID, stamped pagemem.Range) {
 	stamped = l.AssignNew()
 	sealed = l.Youngest()
 	l.count = append(l.count, 0)
+	l.exc = append(l.exc, nil)
 	return sealed, stamped
 }
 
 // GenOf returns the generation of page id, or NoGen if the page is
 // unmonitored or beyond the tracked prefix.
 func (l *LRU) GenOf(id pagemem.PageID) GenID {
-	if int(id) >= len(l.gen) {
+	if int(id) >= l.tracked {
 		return NoGen
 	}
-	return l.gen[id]
+	return l.genOf(id)
+}
+
+// genOf resolves a tracked page's current generation: exception bits first
+// (youngest generation first, since promotions dominate), then the base run.
+func (l *LRU) genOf(id pagemem.PageID) GenID {
+	if l.excAny.Get(int(id)) {
+		for g := len(l.exc) - 1; g >= 0; g-- {
+			if b := l.exc[g]; b != nil && b.Get(int(id)) {
+				return GenID(g)
+			}
+		}
+	}
+	return l.baseGen(id)
+}
+
+// baseGen returns the generation of the run containing id (id must be
+// tracked).
+func (l *LRU) baseGen(id pagemem.PageID) GenID {
+	if i := l.lastRun; i < len(l.runs) && l.runs[i].start <= id &&
+		(i+1 == len(l.runs) || id < l.runs[i+1].start) {
+		return l.runs[i].gen
+	}
+	i := sort.Search(len(l.runs), func(j int) bool { return l.runs[j].start > id }) - 1
+	l.lastRun = i
+	return l.runs[i].gen
+}
+
+// runEnd returns the exclusive end of run ri.
+func (l *LRU) runEnd(ri int) pagemem.PageID {
+	if ri+1 < len(l.runs) {
+		return l.runs[ri+1].start
+	}
+	return pagemem.PageID(l.tracked)
 }
 
 // Promote moves page id to the youngest generation (the access path). It is
@@ -125,23 +203,34 @@ func (l *LRU) Demote(id pagemem.PageID, g GenID) {
 }
 
 func (l *LRU) moveTo(id pagemem.PageID, g GenID) {
-	if int(id) >= len(l.gen) {
+	if int(id) >= l.tracked {
 		return
 	}
-	old := l.gen[id]
+	old := l.genOf(id)
 	if old == g {
 		return
-	}
-	if old != NoGen {
-		l.count[old]--
 	}
 	if old == NoGen {
 		// Unmonitored pages stay unmonitored: promoting an exec page would
 		// silently add it to a Pucket it was never part of.
 		return
 	}
-	l.gen[id] = g
+	l.count[old]--
 	l.count[g]++
+	base := l.baseGen(id)
+	if old != base {
+		l.exc[old].Clear(int(id))
+	}
+	if g != base {
+		if l.exc[g] == nil {
+			l.exc[g] = &pagemem.Bitset{}
+		}
+		l.exc[g].Set(int(id))
+		l.excAny.Set(int(id))
+	} else {
+		// Back to its base run: no exception needed anymore.
+		l.excAny.Clear(int(id))
+	}
 	if g > old {
 		l.promotions++
 	} else {
@@ -155,11 +244,21 @@ func (l *LRU) Promotions() uint64 { return l.promotions }
 // Demotions counts pages ever moved back to an older generation (rollbacks).
 func (l *LRU) Demotions() uint64 { return l.demotions }
 
-// WalkGen calls fn for every tracked page currently in generation g.
+// WalkGen calls fn for every tracked page currently in generation g, in page
+// order. Runs of other generations contribute only their exception bits, so
+// the walk skips foreign runs word-at-a-time.
 func (l *LRU) WalkGen(g GenID, fn func(pagemem.PageID)) {
-	for id, pg := range l.gen {
-		if pg == g {
-			fn(pagemem.PageID(id))
+	for ri := range l.runs {
+		start, end := l.runs[ri].start, l.runEnd(ri)
+		if l.runs[ri].gen == g {
+			// Every page of this run except the ones promoted/demoted away.
+			for id := start; id < end; id++ {
+				if !l.excAny.Get(int(id)) {
+					fn(id)
+				}
+			}
+		} else if g >= 0 && int(g) < len(l.exc) && l.exc[g] != nil {
+			l.exc[g].ForEachSet(int(start), int(end), func(i int) { fn(pagemem.PageID(i)) })
 		}
 	}
 }

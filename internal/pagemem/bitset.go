@@ -100,6 +100,14 @@ func (b *Bitset) CountRange(start, end int) int {
 	return n
 }
 
+// word returns word w, treating words beyond the current capacity as zero.
+func (b *Bitset) word(w int) uint64 {
+	if w < len(b.words) {
+		return b.words[w]
+	}
+	return 0
+}
+
 // ForEachSet calls fn for every set bit in [start, end), skipping zero words
 // whole. fn receives the bit index.
 func (b *Bitset) ForEachSet(start, end int, fn func(int)) {

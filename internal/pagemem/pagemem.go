@@ -8,7 +8,10 @@
 // incrementally so "how much local memory does this container hold" is O(1).
 package pagemem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // DefaultPageSize is the page size used throughout the simulation, matching
 // the 4 KiB base pages the paper's kernel implementation manages.
@@ -98,6 +101,11 @@ type Space struct {
 	state    []State
 	seg      []Segment
 	accessed Bitset
+	// stateBits[st] marks every page currently in state st, so range scans
+	// (offload victim collection, Pucket occupancy counts) walk words instead
+	// of pages. The state slice stays authoritative for O(1) State lookups;
+	// the bitsets are a maintained index over it.
+	stateBits [numStates]Bitset
 	// counts[seg][state] tracks pages per segment and state.
 	counts [NumSegments][numStates]int
 }
@@ -133,6 +141,7 @@ func (s *Space) Alloc(seg Segment, n int) Range {
 		s.seg = append(s.seg, seg)
 	}
 	s.accessed.SetRange(int(start), int(start)+n)
+	s.stateBits[Inactive].SetRange(int(start), int(start)+n)
 	s.counts[seg][Inactive] += n
 	return Range{Start: start, End: start + PageID(n)}
 }
@@ -148,33 +157,35 @@ func (s *Space) AllocBytes(seg Segment, bytes int64) Range {
 }
 
 // FreeRange releases every non-free page in r. Used when exec-segment
-// temporaries are reclaimed at request completion.
+// temporaries are reclaimed at request completion. Already-free pages are
+// skipped word-at-a-time, so re-freeing a mostly-free range is cheap.
 func (s *Space) FreeRange(r Range) {
-	for id := r.Start; id < r.End; id++ {
-		st := s.state[id]
-		if st == Free {
-			continue
-		}
-		s.counts[s.seg[id]][st]--
-		s.counts[s.seg[id]][Free]++
-		s.state[id] = Free
-		s.accessed.Clear(int(id))
+	for st := Inactive; st < numStates; st++ {
+		s.stateBits[st].ForEachSet(int(r.Start), int(r.End), func(i int) {
+			id := PageID(i)
+			s.counts[s.seg[id]][st]--
+			s.counts[s.seg[id]][Free]++
+			s.state[id] = Free
+			s.stateBits[Free].Set(i)
+		})
+		s.stateBits[st].ClearRange(int(r.Start), int(r.End))
 	}
+	s.accessed.ClearRange(int(r.Start), int(r.End))
 }
 
 // ReuseRange reactivates every Free page in r back to Inactive with a set
 // access bit — the allocation path for exec-segment temporaries, which reuse
 // the same page slots on every request instead of growing the space.
 func (s *Space) ReuseRange(r Range) {
-	for id := r.Start; id < r.End; id++ {
-		if s.state[id] != Free {
-			continue
-		}
+	s.stateBits[Free].ForEachSet(int(r.Start), int(r.End), func(i int) {
+		id := PageID(i)
 		s.counts[s.seg[id]][Free]--
 		s.counts[s.seg[id]][Inactive]++
 		s.state[id] = Inactive
-		s.accessed.Set(int(id))
-	}
+		s.stateBits[Inactive].Set(i)
+		s.accessed.Set(i)
+	})
+	s.stateBits[Free].ClearRange(int(r.Start), int(r.End))
 }
 
 // State returns the state of page id.
@@ -197,6 +208,103 @@ func (s *Space) SetState(id PageID, st State) {
 	s.counts[seg][old]--
 	s.counts[seg][st]++
 	s.state[id] = st
+	s.stateBits[old].Clear(int(id))
+	s.stateBits[st].Set(int(id))
+}
+
+// TransitionRange moves every page of state `from` inside r to state `to`,
+// calling fn (if non-nil) for each moved page after its state changed. Pages
+// in other states are skipped word-at-a-time, so sweeping a segment for the
+// (usually few) hot pages costs O(words), not O(pages). Returns the number of
+// pages moved.
+func (s *Space) TransitionRange(r Range, from, to State, fn func(PageID)) int {
+	if from == Free || to == Free {
+		panic("pagemem: TransitionRange cannot move pages into or out of Free")
+	}
+	if from == to {
+		return 0
+	}
+	moved := 0
+	s.stateBits[from].ForEachSet(int(r.Start), int(r.End), func(i int) {
+		id := PageID(i)
+		seg := s.seg[id]
+		s.counts[seg][from]--
+		s.counts[seg][to]++
+		s.state[id] = to
+		s.stateBits[to].Set(i)
+		moved++
+		if fn != nil {
+			fn(id)
+		}
+	})
+	s.stateBits[from].ClearRange(int(r.Start), int(r.End))
+	return moved
+}
+
+// ForEachInState calls fn for every page of state st inside r, in page order,
+// skipping zero words whole.
+func (s *Space) ForEachInState(r Range, st State, fn func(PageID)) {
+	s.stateBits[st].ForEachSet(int(r.Start), int(r.End), func(i int) { fn(PageID(i)) })
+}
+
+// forEachUnion walks the set bits of a|b in [start, end) in ascending order,
+// skipping all-zero words, until fn returns false. b may be nil for a
+// single-set walk.
+func (s *Space) forEachUnion(a, b *Bitset, start, end int, fn func(int) bool) {
+	if mx := len(s.state); end > mx {
+		end = mx
+	}
+	for i := start; i < end; {
+		w := i / 64
+		lo := uint(i) % 64
+		hi := uint(64)
+		if end-(w*64) < 64 {
+			hi = uint(end - w*64)
+		}
+		word := a.word(w)
+		if b != nil {
+			word |= b.word(w)
+		}
+		word &= (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			if !fn(w*64 + tz) {
+				return
+			}
+			word &^= 1 << uint(tz)
+		}
+		i = (w + 1) * 64
+	}
+}
+
+// CollectInState appends up to max pages of state st inside r (0 = no limit)
+// to dst and returns it — the word-at-a-time victim scan behind offload
+// collection.
+func (s *Space) CollectInState(dst []PageID, r Range, st State, max int) []PageID {
+	s.forEachUnion(&s.stateBits[st], nil, int(r.Start), int(r.End), func(i int) bool {
+		dst = append(dst, PageID(i))
+		return max <= 0 || len(dst) < max
+	})
+	return dst
+}
+
+// ForEachLocal calls fn for every locally resident page (Inactive or Hot)
+// inside r in page order, stopping early when fn returns false — the union
+// scan the TMO/DAMON-style policies use to pick eviction victims, where
+// visit order across the two states must match a per-page walk.
+func (s *Space) ForEachLocal(r Range, fn func(PageID) bool) {
+	s.forEachUnion(&s.stateBits[Inactive], &s.stateBits[Hot], int(r.Start), int(r.End),
+		func(i int) bool { return fn(PageID(i)) })
+}
+
+// CollectLocal appends up to max locally resident pages inside r to dst in
+// page order.
+func (s *Space) CollectLocal(dst []PageID, r Range, max int) []PageID {
+	s.ForEachLocal(r, func(id PageID) bool {
+		dst = append(dst, id)
+		return max <= 0 || len(dst) < max
+	})
+	return dst
 }
 
 // Touch sets the access bit of page id and returns its current state so the
@@ -227,15 +335,10 @@ func (s *Space) CountAccessed(r Range) int {
 	return s.accessed.CountRange(int(r.Start), int(r.End))
 }
 
-// CountInRange tallies pages of the given state inside r.
+// CountInRange tallies pages of the given state inside r by popcounting the
+// state's bitset, so per-request occupancy polls cost O(words).
 func (s *Space) CountInRange(r Range, st State) int {
-	n := 0
-	for id := r.Start; id < r.End; id++ {
-		if s.state[id] == st {
-			n++
-		}
-	}
-	return n
+	return s.stateBits[st].CountRange(int(r.Start), int(r.End))
 }
 
 // Count returns the number of pages in the given segment and state.

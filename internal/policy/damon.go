@@ -195,12 +195,7 @@ func (c *damonContainer) aggregate(e *simtime.Engine) {
 		}
 		if r.age >= c.cfg.AggregationsCold {
 			// DAMOS pageout: evict every local page of the region.
-			for id := r.start; id < r.end; id++ {
-				st := s.State(id)
-				if st == pagemem.Inactive || st == pagemem.Hot {
-					victims = append(victims, id)
-				}
-			}
+			victims = s.CollectLocal(victims, pagemem.Range{Start: r.start, End: r.end}, 0)
 			r.age = 0 // paged out; restart aging
 		}
 		r.nrAccesses = 0

@@ -129,18 +129,10 @@ func (Base) Idle(*simtime.Engine) {}
 func (Base) Recycle(*simtime.Engine) {}
 
 // CollectPages gathers up to max page IDs in r whose state matches st.
-// max <= 0 means no limit.
+// max <= 0 means no limit. The scan walks the space's per-state bitset
+// word-at-a-time rather than checking every page.
 func CollectPages(s *pagemem.Space, r pagemem.Range, st pagemem.State, max int) []pagemem.PageID {
-	var out []pagemem.PageID
-	for id := r.Start; id < r.End; id++ {
-		if s.State(id) == st {
-			out = append(out, id)
-			if max > 0 && len(out) >= max {
-				break
-			}
-		}
-	}
-	return out
+	return s.CollectInState(nil, r, st, max)
 }
 
 // NoOffload is the paper's baseline: FaaSMem's platform with memory

@@ -81,19 +81,16 @@ func (c *tmoContainer) step(e *simtime.Engine) {
 	c.carry -= int64(budget) * pageBytes
 	var victims []pagemem.PageID
 	for _, r := range []pagemem.Range{c.view.RuntimeRange(), c.view.InitRange()} {
-		for id := r.Start; id < r.End && len(victims) < budget; id++ {
-			st := s.State(id)
-			if st != pagemem.Inactive && st != pagemem.Hot {
-				continue
-			}
+		s.ForEachLocal(r, func(id pagemem.PageID) bool {
 			if s.Accessed(id) {
 				// Touched since the last step: young, leave it and clear the
 				// bit so the next step can re-evaluate.
 				s.ClearAccessed(id)
-				continue
+				return true
 			}
 			victims = append(victims, id)
-		}
+			return len(victims) < budget
+		})
 		if len(victims) >= budget {
 			break
 		}

@@ -68,6 +68,7 @@ type kaContainer struct {
 	busyUntil simtime.Time // executing until then
 	idleSince simtime.Time // start of current idle period (== busyUntil)
 	launched  simtime.Time
+	seq       int // launch order, for deterministic tie-breaking
 	requests  int
 	active    time.Duration
 }
@@ -77,7 +78,114 @@ type kaContainer struct {
 // timeout. Requests that find an idle warm container reuse it (earliest-idle
 // first, matching typical FIFO reuse); otherwise a new container launches.
 // Idle containers are recycled after timeout.
+//
+// For sorted invocations (the trace invariant) the pool is a FIFO deque
+// ordered by idleSince — a container finishing its request is always the
+// newest idler, so expiry pops from the front and the longest-idle pick *is*
+// the front — which makes the whole replay O(n) instead of the reference's
+// O(n·pool). Unsorted timelines fall back to simulateKeepAliveReference.
 func SimulateKeepAlive(invocations []simtime.Time, execTime, timeout time.Duration) KeepAliveResult {
+	return simulateKeepAlive(invocations, execTime, timeout, true)
+}
+
+// SimulateKeepAliveScalars is SimulateKeepAlive minus the per-container
+// distribution slices: only the counters and active/inactive times are
+// filled. Sweeps that read aggregate ratios alone (Figure 1 runs one
+// simulation per trace function per timeout) skip the slice churn entirely.
+func SimulateKeepAliveScalars(invocations []simtime.Time, execTime, timeout time.Duration) KeepAliveResult {
+	return simulateKeepAlive(invocations, execTime, timeout, false)
+}
+
+func simulateKeepAlive(invocations []simtime.Time, execTime, timeout time.Duration, collect bool) KeepAliveResult {
+	for i := 1; i < len(invocations); i++ {
+		if invocations[i] < invocations[i-1] {
+			res := simulateKeepAliveReference(invocations, execTime, timeout)
+			if !collect {
+				res.RequestsPerContainer = nil
+				res.ReusedIntervals = nil
+				res.ContainerLifetimes = nil
+			}
+			return res
+		}
+	}
+
+	var res KeepAliveResult
+	// idle is a FIFO deque of idle containers in ascending idleSince order:
+	// drained at pool[head:]. Every idle container by definition has
+	// busyUntil == idleSince <= now once its request finished, and new idlers
+	// always carry idleSince = at+execTime >= every previous entry.
+	var pool []kaContainer
+	head := 0
+	seq := 0
+
+	retire := func(c *kaContainer, at simtime.Time) {
+		res.ActiveTime += c.active
+		res.InactiveTime += (at - c.launched) - c.active
+		if collect {
+			res.RequestsPerContainer = append(res.RequestsPerContainer, c.requests)
+			res.ContainerLifetimes = append(res.ContainerLifetimes, at-c.launched)
+		}
+	}
+
+	for _, at := range invocations {
+		// Expire idle containers whose keep-alive lapsed before this request;
+		// they are exactly a prefix of the deque.
+		for head < len(pool) && at-pool[head].idleSince > timeout {
+			retire(&pool[head], pool[head].idleSince+timeout)
+			head++
+		}
+
+		// The front of the deque has waited longest. On an exact idleSince
+		// tie the reference picks the earliest-launched container, so scan
+		// the tied prefix for the minimal launch sequence — ties only occur
+		// between invocations sharing a timestamp, so the prefix is short.
+		var c kaContainer
+		if head < len(pool) && pool[head].idleSince <= at {
+			pick := head
+			for i := head + 1; i < len(pool) &&
+				pool[i].idleSince == pool[head].idleSince; i++ {
+				if pool[i].seq < pool[pick].seq {
+					pick = i
+				}
+			}
+			c = pool[pick]
+			copy(pool[head+1:pick+1], pool[head:pick])
+			head++
+			res.WarmStarts++
+			if collect {
+				res.ReusedIntervals = append(res.ReusedIntervals, at-c.idleSince)
+			}
+		} else {
+			c = kaContainer{launched: at, seq: seq}
+			seq++
+			res.ColdStarts++
+		}
+		c.requests++
+		c.active += execTime
+		c.busyUntil = at + execTime
+		c.idleSince = c.busyUntil
+		pool = append(pool, c)
+
+		// Compact the consumed prefix once it dominates the backing array.
+		if head > 64 && head > len(pool)/2 {
+			n := copy(pool, pool[head:])
+			pool = pool[:n]
+			head = 0
+		}
+	}
+
+	// Drain: every surviving container idles out after its timeout.
+	for i := head; i < len(pool); i++ {
+		retire(&pool[i], pool[i].idleSince+timeout)
+	}
+	return res
+}
+
+// simulateKeepAliveReference is the retired O(n·pool) pool-walk
+// implementation, kept as the oracle for the differential tests and as the
+// fallback for unsorted timelines. Its per-container bookkeeping defines the
+// semantics SimulateKeepAlive must reproduce.
+func simulateKeepAliveReference(invocations []simtime.Time, execTime, timeout time.Duration) KeepAliveResult {
 	var res KeepAliveResult
 	var pool []*kaContainer // containers, alive
 
@@ -143,6 +251,17 @@ func SimulateTraceKeepAliveFunc(t *Trace, execOf func(i int, f *Function) time.D
 	var res KeepAliveResult
 	for i, f := range t.Functions {
 		res.Merge(SimulateKeepAlive(f.Invocations, execOf(i, f), timeout))
+	}
+	return res
+}
+
+// SimulateTraceKeepAliveScalarsFunc is SimulateTraceKeepAliveFunc in
+// scalars-only mode: the merged result carries counters and times but no
+// per-container distributions.
+func SimulateTraceKeepAliveScalarsFunc(t *Trace, execOf func(i int, f *Function) time.Duration, timeout time.Duration) KeepAliveResult {
+	var res KeepAliveResult
+	for i, f := range t.Functions {
+		res.Merge(SimulateKeepAliveScalars(f.Invocations, execOf(i, f), timeout))
 	}
 	return res
 }

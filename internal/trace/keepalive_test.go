@@ -2,8 +2,13 @@ package trace
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"time"
+
+	"github.com/faasmem/faasmem/internal/simtime"
 )
 
 func TestKeepAliveAllCold(t *testing.T) {
@@ -185,5 +190,90 @@ func TestFig5Shape(t *testing.T) {
 	// The paper reports ~60%; accept a generous band for the synthetic trace.
 	if frac < 0.3 {
 		t.Errorf("containers with ≤2 requests = %.0f%%, want a substantial share", frac*100)
+	}
+}
+
+// TestKeepAliveScalars: the scalars-only mode returns the same counters and
+// times as the full simulation, with no distribution slices.
+func TestKeepAliveScalars(t *testing.T) {
+	tr := Generate(GenConfig{NumFunctions: 40, Duration: 2 * time.Hour}, 23)
+	for _, f := range tr.Functions {
+		full := SimulateKeepAlive(f.Invocations, 500*time.Millisecond, 5*time.Minute)
+		sc := SimulateKeepAliveScalars(f.Invocations, 500*time.Millisecond, 5*time.Minute)
+		if sc.ColdStarts != full.ColdStarts || sc.WarmStarts != full.WarmStarts ||
+			sc.ActiveTime != full.ActiveTime || sc.InactiveTime != full.InactiveTime {
+			t.Fatalf("%s: scalars diverge: %+v vs %+v", f.ID, sc, full)
+		}
+		if sc.RequestsPerContainer != nil || sc.ReusedIntervals != nil || sc.ContainerLifetimes != nil {
+			t.Fatalf("%s: scalars mode filled distribution slices", f.ID)
+		}
+	}
+}
+
+// TestKeepAliveDifferential replays random sorted timelines (with deliberate
+// duplicate timestamps, which exercise the idle-tie handling) through the
+// O(n) deque implementation and the O(n·pool) reference, asserting identical
+// aggregates, identical reuse intervals, and multiset-identical per-container
+// distributions (the retire *order* may legitimately differ).
+func TestKeepAliveDifferential(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(400)
+		inv := make([]simtime.Time, n)
+		var at simtime.Time
+		for i := range inv {
+			if rng.Intn(4) != 0 { // 1-in-4 chance of a duplicate timestamp
+				at += simtime.Time(rng.Intn(180)) * simtime.Time(time.Second)
+			}
+			inv[i] = at
+		}
+		exec := time.Duration(1+rng.Intn(2000)) * time.Millisecond
+		timeout := time.Duration(1+rng.Intn(600)) * time.Second
+
+		got := SimulateKeepAlive(inv, exec, timeout)
+		want := simulateKeepAliveReference(inv, exec, timeout)
+
+		if got.ColdStarts != want.ColdStarts || got.WarmStarts != want.WarmStarts {
+			t.Fatalf("seed %d: cold/warm = %d/%d, want %d/%d",
+				seed, got.ColdStarts, got.WarmStarts, want.ColdStarts, want.WarmStarts)
+		}
+		if got.ActiveTime != want.ActiveTime || got.InactiveTime != want.InactiveTime {
+			t.Fatalf("seed %d: active/inactive = %v/%v, want %v/%v",
+				seed, got.ActiveTime, got.InactiveTime, want.ActiveTime, want.InactiveTime)
+		}
+		if !reflect.DeepEqual(got.ReusedIntervals, want.ReusedIntervals) {
+			t.Fatalf("seed %d: reuse intervals diverge", seed)
+		}
+		sortedInts := func(s []int) []int {
+			c := append([]int(nil), s...)
+			sort.Ints(c)
+			return c
+		}
+		sortedDurs := func(s []time.Duration) []time.Duration {
+			c := append([]time.Duration(nil), s...)
+			sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+			return c
+		}
+		if !reflect.DeepEqual(sortedInts(got.RequestsPerContainer), sortedInts(want.RequestsPerContainer)) {
+			t.Fatalf("seed %d: requests-per-container multisets diverge", seed)
+		}
+		if !reflect.DeepEqual(sortedDurs(got.ContainerLifetimes), sortedDurs(want.ContainerLifetimes)) {
+			t.Fatalf("seed %d: container-lifetime multisets diverge", seed)
+		}
+	}
+}
+
+// TestKeepAliveUnsortedFallback: unsorted timelines take the reference path
+// and still produce its exact result.
+func TestKeepAliveUnsortedFallback(t *testing.T) {
+	inv := []simtime.Time{
+		simtime.Time(30 * time.Second),
+		simtime.Time(10 * time.Second),
+		simtime.Time(20 * time.Second),
+	}
+	got := SimulateKeepAlive(inv, time.Second, time.Minute)
+	want := simulateKeepAliveReference(inv, time.Second, time.Minute)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unsorted fallback diverges: %+v vs %+v", got, want)
 	}
 }
