@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json experiments experiments-quick examples trace-demo clean
+.PHONY: all build test vet bench bench-json experiments experiments-quick examples trace-demo attrib-demo clean
 
 all: build vet test
 
@@ -24,7 +24,7 @@ bench:
 
 # Tier-1 figure/table benchmarks plus the page-engine micro-benches, snapshotted
 # as machine-readable JSON (the CI perf artifact; see cmd/benchjson).
-BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout
+BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -o BENCH_2.json
 	@echo "wrote BENCH_2.json"
@@ -44,6 +44,11 @@ results:
 trace-demo:
 	$(GO) run ./examples/tracing faasmem-trace.json
 
+# Side-by-side latency attribution under relaxed vs. pressured memory, plus
+# an exported span file for cmd/faasmem-stat.
+attrib-demo:
+	$(GO) run ./examples/attribution faasmem-spans.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/mlinference
@@ -51,6 +56,7 @@ examples:
 	$(GO) run ./examples/tracereplay
 	$(GO) run ./examples/rack
 	$(GO) run ./examples/sweep > /dev/null
+	$(GO) run ./examples/attribution
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_gate.txt faasmem-trace.json
+	rm -rf results test_output.txt bench_output.txt bench_gate.txt faasmem-trace.json faasmem-spans.json attrib_quick.txt

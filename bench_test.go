@@ -18,6 +18,7 @@ import (
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -347,6 +348,42 @@ func BenchmarkHarnessParallelFanout(b *testing.B) {
 				outs := experiments.RunScenarios(scs)
 				if len(outs) != len(scs) || outs[0].Requests == 0 {
 					b.Fatal("bad outcomes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDisabledSpans runs one scenario with span recording off (the
+// default for every figure) and on: the nil-recorder fast path must keep the
+// hot exec loop's cost and allocation profile indistinguishable from
+// pre-span builds. internal/telemetry/span asserts the per-call zero-alloc
+// contract; this gate watches the end-to-end run.
+func BenchmarkDisabledSpans(b *testing.B) {
+	prof := workload.ByName("json")
+	inv := experiments.HighLoadInvocations(6*time.Minute, 11)
+	for _, cfg := range []struct {
+		name string
+		rec  *span.Recorder
+	}{
+		{"disabled", nil},
+		{"enabled", span.NewRecorder(1 << 12)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := experiments.RunScenario(experiments.Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    6 * time.Minute,
+					Policy:      experiments.FaaSMem,
+					CoreConfig:  core.Config{},
+					SeedHistory: true,
+					Seed:        11,
+					Spans:       cfg.rec,
+				})
+				if out.Requests == 0 {
+					b.Fatal("no requests")
 				}
 			}
 		})

@@ -32,6 +32,7 @@ import (
 
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 )
 
 // job is one experiment: it returns its rows (for -json) and optional SVG
@@ -42,7 +43,7 @@ type job struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
@@ -53,6 +54,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	traceOut := flag.String("trace-out", "", "record every harness's simulation events into one Chrome trace-event JSON file; most useful with -only naming a single experiment (parallel experiments interleave in the shared ring)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity for -trace-out")
+	attrib := flag.Bool("attrib", false, "record causal spans across every harness and print one latency-attribution table at the end; most useful with -only naming a single experiment")
 	flag.Parse()
 
 	experiments.SetWorkers(*scenarioWorkers)
@@ -101,6 +103,13 @@ func main() {
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer(*traceBuffer)
 		telemetry.SetDefault(telemetry.Hub{Tracer: tracer, Reg: telemetry.NewRegistry()})
+	}
+	// Same fallback scheme for spans: Scenario.Spans defaults to the process
+	// recorder, so one flag attributes every figure's latency.
+	var spans *span.Recorder
+	if *attrib {
+		spans = span.NewRecorder(span.DefaultCapacity)
+		span.SetDefault(spans)
 	}
 
 	jobs := buildJobs(*seed, *quick, scale)
@@ -163,6 +172,11 @@ func main() {
 		}
 		fmt.Printf("trace: %d events (%d dropped) written to %s — open in https://ui.perfetto.dev\n",
 			tracer.Total(), tracer.Dropped(), *traceOut)
+	}
+	if spans != nil {
+		if err := span.WriteText(os.Stdout, span.Analyze(spans.Invocations())); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -304,6 +318,14 @@ func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) ti
 				Seed:     seed,
 			})
 			experiments.PrintRackDensity(w, rows)
+			return rows, nil
+		}},
+		{"ext-attrib", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.AttribPressure(experiments.AttribPressureOptions{
+				Duration: scale(30*time.Minute, 10*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintAttribPressure(w, rows)
 			return rows, nil
 		}},
 	}

@@ -28,6 +28,7 @@ import (
 	"github.com/faasmem/faasmem/internal/report"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -46,6 +47,8 @@ func main() {
 	traceDump := flag.Bool("trace", false, "record simulation events and dump them human-readably after the run")
 	traceOut := flag.String("trace-out", "", "record simulation events and write a Chrome trace-event JSON file (load in https://ui.perfetto.dev)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity; oldest events drop beyond this")
+	attrib := flag.Bool("attrib", false, "record causal spans and print a per-phase latency attribution table after the run")
+	attribOut := flag.String("attrib-out", "", "record causal spans and write them as Chrome trace-event JSON (nested duration events; implies span recording)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -154,6 +157,10 @@ func main() {
 			Reg:    telemetry.NewRegistry(),
 		}
 	}
+	var spans *span.Recorder
+	if *attrib || *attribOut != "" {
+		spans = span.NewRecorder(span.DefaultCapacity)
+	}
 	out := experiments.RunScenario(experiments.Scenario{
 		Profile:     prof,
 		Invocations: fn.Invocations,
@@ -163,6 +170,7 @@ func main() {
 		SeedHistory: true,
 		Seed:        *seed,
 		Telemetry:   hub,
+		Spans:       spans,
 	})
 
 	ok := out.Requests > 0
@@ -195,6 +203,22 @@ func main() {
 		if *traceDump {
 			fmt.Println()
 			if err := telemetry.WriteText(os.Stdout, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if spans != nil {
+		if *attribOut != "" {
+			if err := span.WriteChromeTraceFile(*attribOut, spans); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("spans written    %s  (faasmem-stat -trace %s, or load in https://ui.perfetto.dev)\n", *attribOut, *attribOut)
+		}
+		if *attrib {
+			fmt.Println()
+			if err := span.WriteText(os.Stdout, span.Analyze(spans.Invocations())); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

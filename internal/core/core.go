@@ -31,6 +31,7 @@ import (
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 )
 
 // Config tunes FaaSMem. The zero value plus defaults reproduces the paper's
@@ -472,6 +473,11 @@ func (c *container) rollback(e *simtime.Engine) {
 		At: e.Now(), Kind: telemetry.KindRollback,
 		Actor: c.view.ID(), Fn: c.view.FunctionID(), Value: int64(n),
 	})
+	c.view.Spans().RecordBackground(span.Background{
+		Kind: span.BGRollback, Function: c.view.FunctionID(),
+		Container: c.view.ID(), Start: e.Now(),
+		Bytes: int64(n) * int64(s.PageSize()),
+	})
 }
 
 // Idle implements policy.ContainerPolicy: schedule the semi-warm period.
@@ -558,6 +564,12 @@ func (c *container) stopSemiWarm(e *simtime.Engine) {
 			Kind:  telemetry.KindSemiWarmExit,
 			Actor: c.view.ID(), Fn: c.view.FunctionID(),
 			Value: c.view.Space().RemoteBytes(),
+		})
+		c.view.Spans().RecordBackground(span.Background{
+			Kind: span.BGSemiWarm, Function: c.view.FunctionID(),
+			Container: c.view.ID(), Start: c.semiWarmFrom,
+			Dur:   time.Duration(e.Now() - c.semiWarmFrom),
+			Bytes: c.view.Space().RemoteBytes(),
 		})
 	}
 	c.stopTicker()

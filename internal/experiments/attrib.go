@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// This file implements the ext-attrib extension: Fig. 2's latency-damage
+// story retold as phase attribution. Fig. 2 shows a page-reclamation policy
+// hurting request latency without explaining *where* the damage lands; with
+// causal spans we can sweep memory pressure (how aggressively FaaSMem
+// drains idle containers toward the pool) and show the remote-fault /
+// restore share of tail latency rising as local memory falls.
+
+// AttribRow is one pressure step's outcome.
+type AttribRow struct {
+	// SemiWarmDelay is the drain timing: smaller = more pressure.
+	SemiWarmDelay time.Duration
+	// AvgLocalMB is the average node-local memory (falls with pressure).
+	AvgLocalMB float64
+	// P50 and P99 are end-to-end latencies in seconds.
+	P50, P99 float64
+	// StallShareP99 is the fraction of the P99 invocation's latency spent
+	// in remote-memory phases (fault-stall + restore + backlog).
+	StallShareP99 float64
+	// MeanStallShare is the remote-memory share of mean latency.
+	MeanStallShare float64
+	// Analysis is the step's full attribution (per-function tables, start
+	// kinds), for -format json consumers.
+	Analysis *span.Analysis
+}
+
+// AttribPressureOptions sizes the study.
+type AttribPressureOptions struct {
+	Duration time.Duration
+	Seed     int64
+}
+
+// stallShare extracts the remote-memory share of a breakdown's total.
+func stallShare(bd span.Breakdown) float64 {
+	if bd.Total <= 0 {
+		return 0
+	}
+	remote := bd.Phase[span.PhaseFaultStall] + bd.Phase[span.PhaseRestore] +
+		bd.Phase[span.PhaseBacklog]
+	return float64(remote) / float64(bd.Total)
+}
+
+// AttribPressure sweeps memory pressure by shrinking the semi-warm drain
+// delay (each container starts offloading sooner after idling) and
+// attributes every request's latency to phases. Expected shape: average
+// local memory falls monotonically and the remote-stall share of latency
+// rises monotonically — Fig. 2's "latency damage", now with the damage
+// pinned to the restore phase instead of inferred from end-to-end deltas.
+func AttribPressure(opt AttribPressureOptions) []AttribRow {
+	if opt.Duration <= 0 {
+		opt.Duration = 20 * time.Minute
+	}
+	prof := workload.Bert()
+	inv := trace.GenerateFunction("bert", opt.Duration, 25*time.Second, false, opt.Seed).Invocations
+	delays := []time.Duration{
+		2 * time.Minute, time.Minute, 30 * time.Second, 10 * time.Second, 2 * time.Second,
+	}
+	recs := make([]*span.Recorder, len(delays))
+	scs := make([]Scenario, len(delays))
+	for i, d := range delays {
+		recs[i] = span.NewRecorder(1 << 14)
+		scs[i] = Scenario{
+			Profile:     prof,
+			Invocations: inv,
+			Duration:    opt.Duration,
+			Policy:      FaaSMem,
+			CoreConfig: core.Config{
+				// Pin the drain timing: ignore collected reuse intervals so
+				// the delay is the pressure knob, not a starting estimate.
+				MinIntervalSamples:    1 << 30,
+				FallbackSemiWarmDelay: d,
+			},
+			Seed:  opt.Seed,
+			Spans: recs[i],
+		}
+	}
+	outs := RunScenarios(scs)
+	rows := make([]AttribRow, len(delays))
+	for i, d := range delays {
+		an := span.Analyze(recs[i].Invocations())
+		row := AttribRow{
+			SemiWarmDelay: d,
+			AvgLocalMB:    outs[i].AvgLocalMB,
+			P50:           outs[i].P50,
+			P99:           outs[i].P99,
+			Analysis:      an,
+		}
+		for _, bd := range an.Overall.Breakdowns {
+			if bd.Q == 0.99 {
+				row.StallShareP99 = stallShare(bd)
+			}
+		}
+		if an.Overall.MeanTotal > 0 {
+			remote := an.Overall.MeanPhase[span.PhaseFaultStall] +
+				an.Overall.MeanPhase[span.PhaseRestore] +
+				an.Overall.MeanPhase[span.PhaseBacklog]
+			row.MeanStallShare = remote / an.Overall.MeanTotal
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// PrintAttribPressure renders the pressure sweep.
+func PrintAttribPressure(w io.Writer, rows []AttribRow) {
+	fmt.Fprintln(w, "Extension (Fig. 2 revisited): latency attribution under rising memory pressure (Bert, FaaSMem)")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.SemiWarmDelay.String(),
+			fmt.Sprintf("%.0f MB", r.AvgLocalMB),
+			fmt.Sprintf("%.3fs", r.P50),
+			fmt.Sprintf("%.3fs", r.P99),
+			fmt.Sprintf("%.1f%%", 100*r.MeanStallShare),
+			fmt.Sprintf("%.1f%%", 100*r.StallShareP99),
+		}
+	}
+	writeTable(w, []string{"semi-warm delay", "avg local", "P50", "P99", "stall share (mean)", "stall share (P99)"}, table)
+}

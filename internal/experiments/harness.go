@@ -19,6 +19,7 @@ import (
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -73,6 +74,10 @@ type Scenario struct {
 	// zero Hub falls back to the process default (telemetry.SetDefault), so
 	// cmd/experiments' -trace flags capture every harness without plumbing.
 	Telemetry telemetry.Hub
+	// Spans attaches a causal-span recorder for latency attribution. Nil
+	// falls back to the process default (span.SetDefault), mirroring
+	// Telemetry, so -attrib flags capture every harness without plumbing.
+	Spans *span.Recorder
 }
 
 // Outcome summarizes one scenario run.
@@ -162,6 +167,7 @@ func RunScenario(sc Scenario) Outcome {
 		Pool:             sc.Pool,
 		Swap:             sc.Swap,
 		Telemetry:        sc.Telemetry.OrDefault(),
+		Spans:            sc.Spans.OrDefault(),
 	}, pol)
 	fnID := sc.Profile.Name
 	f := p.Register(fnID, sc.Profile)

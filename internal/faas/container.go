@@ -9,8 +9,10 @@ import (
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -38,12 +40,17 @@ type Container struct {
 	started   simtime.Time // current request's execution start
 	curKind   StartKind    // how the current request found this container
 	curFaults int
+	curRA     int // readahead pages recalled with the current faults
 	curStall  time.Duration
-	idleSince simtime.Time
-	launched  simtime.Time
-	loadedAt  simtime.Time // when the runtime finished loading
-	recycleEv *simtime.Event
-	dead      bool
+	// curQueueing and curBacklogBytes decompose curStall for attribution:
+	// the link-congestion share and the bulk bytes queued when faulting.
+	curQueueing     time.Duration
+	curBacklogBytes int64
+	idleSince       simtime.Time
+	launched        simtime.Time
+	loadedAt        simtime.Time // when the runtime finished loading
+	recycleEv       *simtime.Event
+	dead            bool
 }
 
 // launch creates a container; memory arrives as lifecycle stages complete.
@@ -163,11 +170,14 @@ func (c *Container) execute(arrival simtime.Time) {
 	// readahead pages ride along on the cluster reads without adding fault
 	// rounds to the request's critical path.
 	var faultLat time.Duration
+	var stall rmem.FaultStall
 	if faults+readahead > 0 {
 		pageBytes := int64(c.space.PageSize())
-		faultLat = c.p.pool.FaultBatch(now, faults, pageBytes)
+		stall = c.p.pool.FaultBatchDetail(now, faults, pageBytes)
+		faultLat = stall.Total
 		if readahead > 0 {
 			c.p.pool.RecallBytes(now, int64(readahead)*pageBytes)
+			c.p.swap.NoteClusterRead(readahead)
 		}
 		recalled := int64(faults+readahead) * pageBytes
 		c.cg.Recall(now, recalled)
@@ -194,7 +204,10 @@ func (c *Container) execute(arrival simtime.Time) {
 	}
 
 	c.curFaults = faults
+	c.curRA = readahead
 	c.curStall = faultLat
+	c.curQueueing = stall.Queueing
+	c.curBacklogBytes = stall.BacklogBytes
 	latency := prof.ExecTime + faultLat
 	if faultLat > 0 {
 		// PSI accounts the stall at its completion time, like the kernel.
@@ -279,6 +292,9 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 		FaultPages:  c.curFaults,
 		StallTime:   c.curStall,
 	})
+	if c.p.spans.Enabled() {
+		c.p.spans.Record(c.buildInvocation(arrival, now))
+	}
 
 	c.pol.RequestEnd(e)
 
@@ -307,6 +323,70 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 	// An over-committed node reclaims as soon as something becomes
 	// reclaimable; the newly idle container itself may be the victim.
 	c.p.enforceMemoryLimit(now)
+}
+
+// buildInvocation assembles the just-finished request's span tree. The
+// phases tile the root exactly — cold starts get launch+init children,
+// queued requests a queue child, and the exec span nests the remote-fault
+// stall (labelled a restore on semi-warm reuse) with the link-congestion
+// share as a backlog grandchild — so attribution's per-phase times sum to
+// end-to-end latency in integer nanoseconds.
+func (c *Container) buildInvocation(arrival, now simtime.Time) span.Invocation {
+	root := span.Span{
+		Phase: span.PhaseRequest,
+		Start: arrival,
+		Dur:   time.Duration(now - arrival),
+	}
+	switch c.curKind {
+	case ColdStart:
+		root.Children = append(root.Children,
+			span.Span{
+				Phase: span.PhaseLaunch, Start: c.launched,
+				Dur: time.Duration(c.loadedAt - c.launched),
+			},
+			span.Span{
+				Phase: span.PhaseInit, Start: c.loadedAt,
+				Dur: time.Duration(c.started - c.loadedAt),
+			})
+	case QueuedStart:
+		root.Children = append(root.Children, span.Span{
+			Phase: span.PhaseQueue, Start: arrival,
+			Dur: time.Duration(c.started - arrival),
+		})
+	}
+	exec := span.Span{
+		Phase: span.PhaseExec, Start: c.started,
+		Dur: time.Duration(now - c.started),
+	}
+	if c.curStall > 0 {
+		// The batch faults at exec start in this model, so the stall leads
+		// the exec span.
+		phase := span.PhaseFaultStall
+		if c.curKind == SemiWarmStart {
+			phase = span.PhaseRestore
+		}
+		stall := span.Span{
+			Phase: phase, Start: c.started, Dur: c.curStall,
+			Pages: int64(c.curFaults + c.curRA),
+		}
+		if c.curQueueing > 0 {
+			// Congestion delay surfaces after the pipelined fetches issue.
+			stall.Children = append(stall.Children, span.Span{
+				Phase: span.PhaseBacklog,
+				Start: c.started + simtime.Time(c.curStall-c.curQueueing),
+				Dur:   c.curQueueing,
+				Pages: c.curBacklogBytes,
+			})
+		}
+		exec.Children = append(exec.Children, stall)
+	}
+	root.Children = append(root.Children, exec)
+	return span.Invocation{
+		Function:  c.fn.id,
+		Container: c.id,
+		Kind:      span.StartKind(c.curKind),
+		Root:      root,
+	}
 }
 
 // recycle tears the container down at keep-alive expiry.
@@ -395,6 +475,10 @@ func (c *Container) OffloadScale() float64 {
 // tracing is disabled; telemetry.Tracer methods are nil-safe).
 func (c *Container) Trace() *telemetry.Tracer { return c.p.tel.Tracer }
 
+// Spans implements policy.View: the platform's causal-span recorder (nil
+// when span recording is disabled; span.Recorder methods are nil-safe).
+func (c *Container) Spans() *span.Recorder { return c.p.spans }
+
 // Cgroup exposes the container's memory accounting (read-only use).
 func (c *Container) Cgroup() *cgroup.Group { return c.cg }
 
@@ -465,6 +549,13 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		return 0
 	}
 	c.cg.Offload(now, bytes)
+	if c.p.spans.Enabled() {
+		start, done := c.p.pool.LastTransferWindow()
+		c.p.spans.RecordBackground(span.Background{
+			Kind: span.BGOffload, Function: c.fn.id, Container: c.id,
+			Start: start, Dur: time.Duration(done - start), Bytes: bytes,
+		})
+	}
 	if c.p.tel.Enabled() {
 		// Classify the moved pages by lifecycle segment so the trace and the
 		// per-stage counters show which Pucket the savings came from.

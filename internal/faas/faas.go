@@ -23,6 +23,7 @@ import (
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	// device, and the policy via View.Trace. The zero Hub disables all
 	// instrumentation; the disabled path is allocation-free.
 	Telemetry telemetry.Hub
+	// Spans attaches a causal-span recorder: every completed request then
+	// yields a span tree (queue → launch → init → exec with fault-stall /
+	// restore / backlog children) for latency attribution, and policies
+	// record their background link work through View.Spans. Nil disables
+	// span recording; the disabled path is allocation-free.
+	Spans *span.Recorder
 	// Seed drives all stochastic workload behaviour deterministically.
 	Seed int64
 }
@@ -210,6 +217,7 @@ type Platform struct {
 	swap       *fastswap.Device
 	reqLog     RequestLog
 	tel        telemetry.Hub
+	spans      *span.Recorder
 	met        platformMetrics
 	containers int // ever created
 	liveTotal  int
@@ -239,6 +247,7 @@ func NewWithPool(engine *simtime.Engine, cfg Config, pol policy.Policy, pool *rm
 		governor: rmem.NewGovernor(pool, 0.7),
 		swap:     fastswap.NewDevice(c.Swap),
 		tel:      c.Telemetry,
+		spans:    c.Spans,
 	}
 	p.met = newPlatformMetrics(p.tel.Reg)
 	pool.Instrument(p.tel.Tracer, p.tel.Reg)
@@ -407,6 +416,10 @@ func (p *Platform) ContainersCreated() int { return p.containers }
 // RequestLog exposes the platform's recent-request ring (enabled via
 // Config.RequestLogSize).
 func (p *Platform) RequestLog() *RequestLog { return &p.reqLog }
+
+// SpanRecorder exposes the platform's causal-span recorder (nil when span
+// recording is disabled).
+func (p *Platform) SpanRecorder() *span.Recorder { return p.spans }
 
 // EvictedContainers counts idle containers force-recycled to keep the node
 // within its memory limit.

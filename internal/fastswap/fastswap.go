@@ -33,8 +33,12 @@ type Device struct {
 	cfg  Config
 	used int
 
-	slotsUsed   *telemetry.Metric // gauge, nil no-op until Instrument
-	truncations *telemetry.Metric
+	clusterReads  int64             // cluster reads served (faults that pulled readahead)
+	clusterPages  int64             // pages prefetched by cluster reads
+	slotsUsed     *telemetry.Metric // gauge, nil no-op until Instrument
+	truncations   *telemetry.Metric
+	clusterReadsM *telemetry.Metric
+	clusterPagesM *telemetry.Metric
 }
 
 // NewDevice creates a swap device.
@@ -59,6 +63,8 @@ func (d *Device) Instrument(reg *telemetry.Registry) {
 	}
 	d.slotsUsed = reg.Gauge("faasmem_swap_slots_used", "occupied swapfile slots")
 	d.truncations = reg.Counter("faasmem_swap_full_truncations_total", "slot allocations truncated by a full swapfile")
+	d.clusterReadsM = reg.Counter("faasmem_swap_cluster_reads_total", "demand faults that pulled a readahead cluster")
+	d.clusterPagesM = reg.Counter("faasmem_swap_cluster_pages_total", "pages prefetched by readahead cluster reads")
 }
 
 // Used returns occupied slots.
@@ -111,3 +117,23 @@ func (d *Device) Release(n int) {
 
 // Readahead reports the prefetch window for one fault (0 = disabled).
 func (d *Device) Readahead() int { return d.cfg.ReadaheadPages }
+
+// NoteClusterRead records that a request's fault batch pulled pages pages
+// of readahead alongside the demand fetches — the swap-path side of the
+// attribution story, distinguishing "one fault, one page" stalls from
+// cluster reads that amortize the wire round-trip.
+func (d *Device) NoteClusterRead(pages int) {
+	if pages <= 0 {
+		return
+	}
+	d.clusterReads++
+	d.clusterPages += int64(pages)
+	d.clusterReadsM.Inc()
+	d.clusterPagesM.Add(int64(pages))
+}
+
+// ClusterReads returns how many fault batches pulled readahead, and how
+// many pages rode along in total.
+func (d *Device) ClusterReads() (reads, pages int64) {
+	return d.clusterReads, d.clusterPages
+}

@@ -1,0 +1,119 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/telemetry/span"
+)
+
+// TestAttribEndpoint exercises GET /attrib across a live handler: empty at
+// boot, populated after a /run, and rendered in all three formats.
+func TestAttribEndpoint(t *testing.T) {
+	h := Handler()
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	empty := do(http.MethodGet, "/attrib", "")
+	if empty.Code != http.StatusOK || !strings.Contains(empty.Body.String(), "no invocations recorded") {
+		t.Fatalf("empty attrib: status %d body %q", empty.Code, empty.Body.String())
+	}
+
+	run := do(http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":120,"mean_gap_sec":10,"seed":3}`)
+	if run.Code != http.StatusOK {
+		t.Fatalf("/run status = %d: %s", run.Code, run.Body.String())
+	}
+
+	text := do(http.MethodGet, "/attrib", "")
+	if text.Code != http.StatusOK {
+		t.Fatalf("text status = %d", text.Code)
+	}
+	for _, want := range []string{"Latency attribution:", "overall", "json", "P99"} {
+		if !strings.Contains(text.Body.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.Body.String())
+		}
+	}
+
+	jrec := do(http.MethodGet, "/attrib?format=json", "")
+	var an span.Analysis
+	if err := json.Unmarshal(jrec.Body.Bytes(), &an); err != nil {
+		t.Fatal(err)
+	}
+	if an.Overall.N == 0 {
+		t.Fatal("json analysis recorded nothing")
+	}
+	for _, bd := range an.Overall.Breakdowns {
+		var sum time.Duration
+		for _, d := range bd.Phase {
+			sum += d
+		}
+		if sum != bd.Total {
+			t.Fatalf("q=%v: phase sum %v != total %v", bd.Q, sum, bd.Total)
+		}
+	}
+
+	prom := do(http.MethodGet, "/attrib?format=prometheus", "")
+	if prom.Code != http.StatusOK {
+		t.Fatalf("prometheus status = %d", prom.Code)
+	}
+	for _, want := range []string{
+		"# TYPE faasmem_attrib_phase_seconds gauge",
+		`faasmem_attrib_invocations{function="overall"}`,
+		`faasmem_attrib_phase_seconds{function="json",quantile="0.99",phase="total"}`,
+	} {
+		if !strings.Contains(prom.Body.String(), want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, prom.Body.String())
+		}
+	}
+
+	if bad := do(http.MethodGet, "/attrib?format=xml", ""); bad.Code != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", bad.Code)
+	}
+}
+
+// TestAttribPrometheusEscaping feeds function names containing every
+// character the exposition format escapes — quotes, backslashes, newlines —
+// and checks the rendered labels stay well-formed single lines.
+func TestAttribPrometheusEscaping(t *testing.T) {
+	hostile := "fn\"quoted\\back\nline"
+	inv := span.Invocation{
+		Function:  hostile,
+		Container: "c0",
+		Kind:      span.Warm,
+		Root: span.Span{
+			Phase: span.PhaseRequest,
+			Start: 0,
+			Dur:   time.Second,
+			Children: []span.Span{
+				{Phase: span.PhaseExec, Start: 0, Dur: time.Second},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeAttribPrometheus(&buf, span.Analyze([]span.Invocation{inv})); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `function="fn\"quoted\\back\nline"`
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing escaped label %s:\n%s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "fn") && strings.Contains(line, "line\"") && !strings.Contains(line, `\n`) {
+			t.Fatalf("raw newline leaked into sample line: %q", line)
+		}
+	}
+	if strings.Contains(out, hostile) {
+		t.Fatal("unescaped function name leaked into output")
+	}
+}

@@ -7,6 +7,8 @@
 //
 //	GET  /healthz             liveness probe
 //	GET  /metrics             live counters, Prometheus text format
+//	GET  /attrib              latency attribution over recorded spans
+//	                          (?format=text|json|prometheus)
 //	GET  /benchmarks          the 11 benchmark profiles
 //	GET  /policies            available offloading policies
 //	POST /run                 run one scenario (JSON body, JSON outcome)
@@ -29,6 +31,7 @@ import (
 
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -95,6 +98,7 @@ type RunResponse struct {
 // simulation run reports into, plus the gateway's own request counters.
 type server struct {
 	reg         *telemetry.Registry
+	spans       *span.Recorder
 	runs        *telemetry.Metric
 	replays     *telemetry.Metric
 	experiments *telemetry.Metric
@@ -105,6 +109,7 @@ func newServer() *server {
 	reg := telemetry.NewRegistry()
 	return &server{
 		reg:         reg,
+		spans:       span.NewRecorder(span.DefaultCapacity),
 		runs:        reg.Counter("gateway_runs_total", "POST /run scenarios executed"),
 		replays:     reg.Counter("gateway_replays_total", "POST /replay traces executed"),
 		experiments: reg.Counter("gateway_experiments_total", "POST /experiments regenerations executed"),
@@ -125,6 +130,7 @@ func Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.reg))
+	mux.HandleFunc("GET /attrib", s.handleAttrib)
 	mux.HandleFunc("GET /benchmarks", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, workload.Profiles())
 	})
@@ -163,6 +169,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		SeedHistory: true,
 		Seed:        req.Seed,
 		Telemetry:   s.hub(),
+		Spans:       s.spans,
 	})
 	writeJSON(w, http.StatusOK, RunResponse{
 		Bench:    req.Bench,
@@ -177,7 +184,7 @@ var experimentNames = []string{
 	"fig1", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
-	"ext-percentile", "ext-rack",
+	"ext-percentile", "ext-rack", "ext-attrib",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -236,6 +243,8 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.PercentileSweep(experiments.PercentileSweepOptions{Duration: 8 * time.Minute, Seed: seed})
 	case "ext-rack":
 		rows = experiments.RackDensity(experiments.RackDensityOptions{Duration: 8 * time.Minute, Seed: seed})
+	case "ext-attrib":
+		rows = experiments.AttribPressure(experiments.AttribPressureOptions{Duration: 10 * time.Minute, Seed: seed})
 	default:
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
 		return

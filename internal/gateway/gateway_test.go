@@ -206,8 +206,8 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 19 {
-		t.Fatalf("experiments = %d, want 19", len(names))
+	if len(names) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(names))
 	}
 	// Every advertised name must actually dispatch.
 	for _, n := range names {

@@ -117,6 +117,7 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		RequestLogSize:   64,
 		Seed:             req.Seed,
 		Telemetry:        s.hub(),
+		Spans:            s.spans,
 	}, pol)
 	p.ReplayTrace(req.Trace, func(i int, f *trace.Function) *workload.Profile {
 		base := *pick(i, f)

@@ -89,6 +89,74 @@ func TestHistogramClampsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	// With one observation, every quantile must return that exact value:
+	// the bucket-midpoint estimate clamps to [minSeen, maxSeen], which is a
+	// single point.
+	h := NewLatencyHistogram()
+	h.Add(0.042)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != 0.042 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 0.042", q, v)
+		}
+	}
+	if h.Min() != 0.042 || h.Max() != 0.042 || h.Mean() != 0.042 {
+		t.Fatalf("single-sample stats = min %v max %v mean %v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramBoundaryQuantiles(t *testing.T) {
+	// q=0 maps to rank 1 (the smallest sample's bucket), so it lands within
+	// one bucket width of the exact min; q=1 maps to the largest sample's
+	// bucket, whose midpoint overshoots and clamps to the exact max.
+	h := NewLatencyHistogram()
+	h.Add(0.001)
+	h.Add(0.01)
+	h.Add(0.1)
+	bucketWidth := math.Pow(10, 1.0/50)
+	if v := h.Quantile(0); v < 0.001 || v > 0.001*bucketWidth {
+		t.Errorf("Quantile(0) = %v, want within one bucket of min 0.001", v)
+	}
+	if v := h.Quantile(1); v != 0.1 {
+		t.Errorf("Quantile(1) = %v, want exact max 0.1", v)
+	}
+}
+
+func TestHistogramOutOfRangeQuantiles(t *testing.T) {
+	// Samples entirely outside [min, max] collapse into the clamp buckets:
+	// below-min mass reports at the range floor, above-max mass at the range
+	// ceiling — and every quantile stays within the exact observed extremes.
+	h := NewHistogram(0.001, 1, 10)
+	below, above := 1e-7, 500.0
+	for i := 0; i < 10; i++ {
+		h.Add(below)
+		h.Add(above)
+	}
+	if v := h.Quantile(0.25); v < below || v > h.lower(1) {
+		t.Errorf("below-range Quantile(0.25) = %v, want in first bucket [%v, %v]", v, below, h.lower(1))
+	}
+	if v := h.Quantile(1); v < 1 || v > above {
+		t.Errorf("above-range Quantile(1) = %v, want in overflow [1, %v]", v, above)
+	}
+	for _, q := range []float64{0, 0.5, 0.75, 0.99} {
+		if v := h.Quantile(q); v < below || v > above {
+			t.Errorf("Quantile(%v) = %v outside observed [%v, %v]", q, v, below, above)
+		}
+	}
+	if h.Min() != below || h.Max() != above {
+		t.Fatalf("exact extremes lost: min %v max %v", h.Min(), h.Max())
+	}
+}
+
 func TestHistogramQuantilePanics(t *testing.T) {
 	h := NewLatencyHistogram()
 	h.Add(1)

@@ -12,6 +12,7 @@ import (
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -48,6 +49,7 @@ func (v *fakeView) Idle() bool                  { return true }
 func (v *fakeView) StallFraction() float64      { return 0 }
 func (v *fakeView) OffloadScale() float64       { return 1 }
 func (v *fakeView) Trace() *telemetry.Tracer    { return nil }
+func (v *fakeView) Spans() *span.Recorder       { return nil }
 func (v *fakeView) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 	for _, id := range ids {
 		st := v.space.State(id)

@@ -15,6 +15,7 @@ import (
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -64,6 +65,12 @@ type View interface {
 	// rollbacks, semi-warm transitions) through it; telemetry.Tracer methods
 	// are nil-safe, so call sites need no guard.
 	Trace() *telemetry.Tracer
+	// Spans returns the platform's causal-span recorder, nil when span
+	// recording is disabled. Policies record background work that competes
+	// with request stalls for the link (offload waves, rollbacks, semi-warm
+	// drains) through it; span.Recorder methods are nil-safe, but work done
+	// only to build a span should be guarded with Spans().Enabled().
+	Spans() *span.Recorder
 }
 
 // Policy manufactures per-container policy instances.

@@ -108,6 +108,8 @@ type Pool struct {
 	cfg       Config
 	used      int64
 	busyUntil simtime.Time
+	lastStart simtime.Time
+	lastDone  simtime.Time
 	meter     [2]*Meter // per direction
 	tr        *telemetry.Tracer
 	met       poolMetrics
@@ -176,7 +178,28 @@ func (p *Pool) reserve(now simtime.Time, bytes int64) (start, done simtime.Time)
 	}
 	done = start + p.transferTime(bytes)
 	p.busyUntil = done
+	p.lastStart, p.lastDone = start, done
 	return start, done
+}
+
+// LastTransferWindow returns the [start, done) window of the most recent
+// bulk transfer reserved on the link — the span an offloader just caused.
+func (p *Pool) LastTransferWindow() (start, done simtime.Time) {
+	return p.lastStart, p.lastDone
+}
+
+// Backlog returns how long the link's queued bulk work extends past now:
+// the wait a transfer enqueued at now would incur before starting.
+func (p *Pool) Backlog(now simtime.Time) time.Duration {
+	if p.busyUntil <= now {
+		return 0
+	}
+	return time.Duration(p.busyUntil - now)
+}
+
+// BacklogBytes converts Backlog to the bytes still queued on the wire.
+func (p *Pool) BacklogBytes(now simtime.Time) int64 {
+	return int64(p.Backlog(now).Seconds() * float64(p.cfg.Bandwidth))
 }
 
 // AcceptableBytes reports how many bytes the link can accept for offload at
@@ -283,17 +306,33 @@ func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
 	return lat
 }
 
+// FaultStall decomposes the latency a batch of demand faults adds to a
+// request: Total is what the request observes, Queueing the share caused by
+// link congestion (the saturation surcharge), and BacklogBytes the bulk
+// work queued on the wire when the faults were issued. Attribution uses the
+// split to separate "pages were remote" from "the link was busy".
+type FaultStall struct {
+	Total        time.Duration
+	Queueing     time.Duration
+	BacklogBytes int64
+}
+
 // FaultBatch performs n demand fetches of pageBytes each during one request
 // execution. Fetches pipeline FaultPipeline-deep, so the request observes
 // one FaultLatency per pipeline-full plus the wire time of the data, with
 // the same saturation inflation as single faults. The pages' bytes leave the
 // pool. It returns the total added latency the request observes.
 func (p *Pool) FaultBatch(now simtime.Time, n int, pageBytes int64) time.Duration {
+	return p.FaultBatchDetail(now, n, pageBytes).Total
+}
+
+// FaultBatchDetail is FaultBatch returning the latency decomposition.
+func (p *Pool) FaultBatchDetail(now simtime.Time, n int, pageBytes int64) FaultStall {
 	if n < 0 || pageBytes < 0 {
 		panic("rmem: negative fault batch")
 	}
 	if n == 0 {
-		return 0
+		return FaultStall{}
 	}
 	total := int64(n) * pageBytes
 	if total > p.used {
@@ -305,16 +344,19 @@ func (p *Pool) FaultBatch(now simtime.Time, n int, pageBytes int64) time.Duratio
 	p.met.usedBytes.Set(p.used)
 	rounds := (n + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
 	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTime(total)
+	stall := FaultStall{BacklogBytes: p.BacklogBytes(now)}
 	util := p.Utilization(now)
 	if util > p.cfg.SaturationPoint {
 		over := (util - p.cfg.SaturationPoint) / (1 - p.cfg.SaturationPoint)
 		if over > 1 {
 			over = 1
 		}
-		lat += time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+		stall.Queueing = time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+		lat += stall.Queueing
 		p.recordSaturation(now, util)
 	}
-	return lat
+	stall.Total = lat
+	return stall
 }
 
 // recordSaturation notes one fault served on a saturated link.

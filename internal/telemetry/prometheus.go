@@ -4,7 +4,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
+
+// labelEscaper implements the Prometheus text exposition format's label-value
+// escaping: backslash, double quote, and line feed.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue escapes a string for inclusion inside a double-quoted
+// Prometheus label value. Function names are caller-controlled (profiles
+// files, Azure trace IDs) and may contain quotes, backslashes, or newlines.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): HELP and TYPE lines followed by the sample, one

@@ -36,6 +36,22 @@ func TestWritePrometheusEmptyAndNil(t *testing.T) {
 	}
 }
 
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+		{"\\\"\n", `\\\"\n`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestPrometheusHandler(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits_total", "").Inc()

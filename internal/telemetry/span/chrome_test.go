@@ -1,0 +1,139 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder replays a tiny deterministic workload — one cold start
+// with a backlogged stall, a clean warm hit, a queued request on a second
+// container, and offload/rollback background work — so the golden file pins
+// the exporter's schema without depending on simulator behaviour.
+func goldenRecorder() *Recorder {
+	r := NewRecorder(16)
+	r.Record(coldInv("web", "web#1", 0))
+	r.Record(warmInv("web", "web#1", simtime.Time(sec(20)), 0.25, 0))
+	queued := warmInv("web", "web#2", simtime.Time(sec(40.5)), 0.8, 0.05)
+	queued.Kind = Queued
+	queued.Root.Start = simtime.Time(sec(40))
+	queued.Root.Dur = sec(1.3)
+	queued.Root.Children = append([]Span{
+		{Phase: PhaseQueue, Start: simtime.Time(sec(40)), Dur: sec(0.5)},
+	}, queued.Root.Children...)
+	r.Record(queued)
+	r.RecordBackground(Background{
+		Kind: BGOffload, Function: "web", Container: "web#1",
+		Start: simtime.Time(sec(25)), Dur: sec(0.12), Bytes: 6 << 20,
+	})
+	r.RecordBackground(Background{
+		Kind: BGRollback, Function: "web", Container: "web#1",
+		Start: simtime.Time(sec(35)), Bytes: 2 << 20,
+	})
+	r.RecordBackground(Background{
+		Kind: BGSemiWarm, Function: "web", Container: "web#1",
+		Start: simtime.Time(sec(26)), Dur: sec(9), Bytes: 6 << 20,
+	})
+	return r
+}
+
+func TestSpanChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "spantrace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("span trace schema drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSpanChromeTraceRoundTrip is the exporter-coverage satellite: duration
+// -event nesting must survive export → import, rebuilding identical trees
+// (and therefore identical attribution).
+func TestSpanChromeTraceRoundTrip(t *testing.T) {
+	rec := goldenRecorder()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	invs, bgs, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Invocations()
+	if !reflect.DeepEqual(invs, want) {
+		t.Fatalf("invocations did not round-trip.\ngot:  %+v\nwant: %+v", invs, want)
+	}
+	// The writer sorts by start time; compare against the same order.
+	wantBG := rec.Backgrounds()
+	sort.SliceStable(wantBG, func(i, j int) bool { return wantBG[i].Start < wantBG[j].Start })
+	if !reflect.DeepEqual(bgs, wantBG) {
+		t.Fatalf("backgrounds did not round-trip.\ngot:  %+v\nwant: %+v", bgs, wantBG)
+	}
+	if !reflect.DeepEqual(Analyze(invs), Analyze(want)) {
+		t.Fatal("attribution differs after round trip")
+	}
+}
+
+func TestSpanChromeTraceStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter must emit valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	var durations, backgrounds int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev["ph"] == "X" && ev["cat"] == "span":
+			durations++
+		case ev["ph"] == "X" && ev["cat"] == "background":
+			backgrounds++
+		case ev["ph"] == "X":
+			t.Fatalf("uncategorised duration event %v", ev)
+		}
+	}
+	// 3 invocations: cold tree has 6 spans, warm has 2, queued has 4.
+	if durations != 12 {
+		t.Fatalf("duration events = %d, want 12", durations)
+	}
+	if backgrounds != 3 {
+		t.Fatalf("background events = %d, want 3", backgrounds)
+	}
+}
+
+func TestReadChromeTraceFileMissing(t *testing.T) {
+	if _, _, err := ReadChromeTraceFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

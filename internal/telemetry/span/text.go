@@ -1,0 +1,124 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// tablePhases is the fixed column order of attribution tables: causal order,
+// with the residue column last. Fixed columns keep the output diff-able for
+// golden files.
+var tablePhases = []Phase{
+	PhaseQueue, PhaseLaunch, PhaseInit, PhaseExec,
+	PhaseFaultStall, PhaseRestore, PhaseBacklog, PhaseOther,
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func fmtSec(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fs", s)
+}
+
+// WriteText renders an analysis as fixed-width attribution tables, one per
+// aggregate (overall first, then per function): a mean row plus one
+// order-statistic row per quantile whose phase columns sum exactly to its
+// total.
+func WriteText(w io.Writer, an *Analysis) error {
+	ov := an.Overall
+	if _, err := fmt.Fprintf(w,
+		"Latency attribution: %d invocations (cold %d, warm %d, semi-warm %d, queued %d)\n",
+		ov.N, ov.Starts[Cold], ov.Starts[Warm], ov.Starts[SemiWarm], ov.Starts[Queued],
+	); err != nil {
+		return err
+	}
+	if ov.N == 0 {
+		_, err := fmt.Fprintln(w, "  (no invocations recorded)")
+		return err
+	}
+	if err := writeAttribution(w, "overall", ov); err != nil {
+		return err
+	}
+	for _, at := range an.PerFunction {
+		if err := writeAttribution(w, at.Function, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAttribution(w io.Writer, label string, at Attribution) error {
+	if _, err := fmt.Fprintf(w, "\n%s  (n=%d)\n", label, at.N); err != nil {
+		return err
+	}
+	header := []string{"quantile", "total"}
+	for _, p := range tablePhases {
+		header = append(header, p.String())
+	}
+	header = append(header, "dominant")
+	rows := make([][]string, 0, len(at.Breakdowns)+1)
+	meanRow := []string{"mean", fmtSec(at.MeanTotal)}
+	for _, p := range tablePhases {
+		meanRow = append(meanRow, fmtSec(at.MeanPhase[p]))
+	}
+	meanRow = append(meanRow, "")
+	rows = append(rows, meanRow)
+	for _, bd := range at.Breakdowns {
+		row := []string{fmt.Sprintf("P%g", bd.Q*100), fmtDur(bd.Total)}
+		for _, p := range tablePhases {
+			row = append(row, fmtDur(bd.Phase[p]))
+		}
+		row = append(row, bd.Dominant.String())
+		rows = append(rows, row)
+	}
+	return writeTextTable(w, header, rows)
+}
+
+// writeTextTable renders fixed-width columns (same convention as the
+// experiments printers).
+func writeTextTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+		}
+		_, err := fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(header); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
