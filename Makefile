@@ -24,7 +24,7 @@ bench:
 
 # Tier-1 figure/table benchmarks plus the page-engine micro-benches, snapshotted
 # as machine-readable JSON (the CI perf artifact; see cmd/benchjson).
-BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans
+BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|PoolDensity|MemnodeOffload
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -o BENCH_2.json
 	@echo "wrote BENCH_2.json"

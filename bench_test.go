@@ -11,11 +11,13 @@ package faasmem
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"github.com/faasmem/faasmem/internal/core"
 	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
@@ -451,6 +453,44 @@ func BenchmarkExtRackDensity(b *testing.B) {
 		})
 		if len(rows) != 2 {
 			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkPoolDensity regenerates the memory-node capacity sweep: the mixed
+// workload over off/dedup/dedup+zswap modes at one DRAM size.
+func BenchmarkPoolDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PoolDensity(experiments.PoolDensityOptions{
+			DRAMMBs: []int{192}, Duration: 4 * time.Minute, Seed: int64(i),
+		})
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkMemnodeOffload measures the page-store hot path: described
+// offloads from a rotating set of containers into a node under DRAM pressure
+// (dedup lookups, LRU maintenance, compression/spill demotion), then a full
+// per-owner discard.
+func BenchmarkMemnodeOffload(b *testing.B) {
+	node := memnode.New(memnode.Config{DRAMBytes: 64 << 20, SpillBytes: 256 << 20})
+	owners := make([]string, 16)
+	for i := range owners {
+		owners[i] = fmt.Sprintf("c%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := owners[i%len(owners)]
+		node.Offload(o, "fn", memnode.ClassInit, 512)
+		node.Offload(o, "fn", memnode.ClassRuntime, 1024)
+		node.Offload(o, "fn", memnode.ClassExec, 256)
+		if i%len(owners) == len(owners)-1 {
+			for _, ow := range owners {
+				node.DiscardOwner(ow)
+			}
 		}
 	}
 }

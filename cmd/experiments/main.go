@@ -43,7 +43,7 @@ type job struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
@@ -326,6 +326,15 @@ func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) ti
 				Seed:     seed,
 			})
 			experiments.PrintAttribPressure(w, rows)
+			return rows, nil
+		}},
+		{"ext-pool-density", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.PoolDensity(experiments.PoolDensityOptions{
+				DRAMMBs:  []int{256, 512},
+				Duration: scale(15*time.Minute, 6*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintPoolDensity(w, rows)
 			return rows, nil
 		}},
 	}

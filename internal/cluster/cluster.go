@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
@@ -89,6 +90,13 @@ func New(engine *simtime.Engine, cfg Config, newPolicy func() policy.Policy) *Cl
 	for i := 0; i < cfg.Nodes; i++ {
 		nodeCfg := cfg.Node
 		nodeCfg.Seed = cfg.Node.Seed + int64(i)*1_000_003
+		if nodeCfg.NodeID == "" {
+			// Container IDs repeat across platforms; distinct node IDs keep
+			// described-page owners unique on the shared memory node.
+			nodeCfg.NodeID = fmt.Sprintf("n%d", i)
+		} else {
+			nodeCfg.NodeID = fmt.Sprintf("%s%d", nodeCfg.NodeID, i)
+		}
 		c.nodes = append(c.nodes, faas.NewWithPool(engine, nodeCfg, newPolicy(), c.pool))
 	}
 	return c
@@ -225,6 +233,9 @@ type Stats struct {
 	LiveContainers int
 	// Rescheduled counts reuses redirected off memory-strapped nodes.
 	Rescheduled int
+	// MemNode snapshots the shared pool-side memory node (dedup, tiers,
+	// quotas) when one is attached; nil otherwise.
+	MemNode *memnode.Stats
 }
 
 // Stats collects rack-wide statistics as of now.
@@ -247,5 +258,9 @@ func (c *Cluster) Stats() Stats {
 	s.Rescheduled = c.rescheduled
 	s.PoolUsedMB = float64(c.pool.Used()) / 1e6
 	s.OffloadBWMBps = c.pool.Meter(rmem.Offload).Average(now) / 1e6
+	if mn := c.pool.Node(); mn != nil {
+		st := mn.Stats()
+		s.MemNode = &st
+	}
 	return s
 }

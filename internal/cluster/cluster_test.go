@@ -6,7 +6,9 @@ import (
 
 	"github.com/faasmem/faasmem/internal/core"
 	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
@@ -312,5 +314,100 @@ func TestReschedulingAvoidsStrappedNode(t *testing.T) {
 			t.Fatalf("node %d exceeds its limit", i)
 		}
 	}
-	_ = c.Stats().Rescheduled // accessor exists and is consistent
+}
+
+func TestReschedulingCountsRedirects(t *testing.T) {
+	// Drive the §9 low-headroom case explicitly: the function's only warm
+	// container sits on a node whose DRAM cannot absorb the recall while a
+	// long-running filler executes there, and an empty node is available.
+	// The warm reuse must be redirected and counted in Stats.Rescheduled.
+	e := simtime.NewEngine()
+	// The 8 MB limit admits a filler's ~7 MB execution without evicting the
+	// drained container, but cannot also absorb its ~3 MB recall.
+	c := New(e, Config{Nodes: 3, Scheduler: WarmFirst,
+		Node: faas.Config{
+			KeepAliveTimeout: 10 * time.Minute,
+			NodeMemoryLimit:  8 * workload.MB,
+		}},
+		func() policy.Policy {
+			return core.New(core.Config{
+				DisablePucket:         true,
+				FallbackSemiWarmDelay: time.Second,
+				PercentPerSecond:      1,
+				BytesPerSecond:        64 * workload.MB,
+			})
+		})
+	c.Register("t", testProfile())
+	// Fillers run for a minute, pinning their exec pages locally.
+	filler := testProfile()
+	filler.Name = "filler"
+	filler.ExecBytes = 4 * workload.MB
+	filler.ExecTime = time.Minute
+	c.Register("fa", filler)
+	c.Register("fb", filler)
+
+	c.ScheduleInvocations("fa", secs(0)) // node 0 (all-equal tie)
+	c.ScheduleInvocations("t", secs(0.2))
+	// By 5 s the t container has drained to remote, so node 1 is the
+	// least-memory target again and fb lands beside it.
+	c.ScheduleInvocations("fb", secs(5))
+	// Reuse of t: node 1 cannot host local + ~3 MB of recall under the 8 MB
+	// limit, but node 2 is empty — the request must be redirected there.
+	c.ScheduleInvocations("t", secs(10))
+	e.RunUntil(15 * time.Second)
+
+	st := c.Stats()
+	if st.Rescheduled == 0 {
+		t.Fatalf("no reschedule counted; node locals = %d/%d/%d",
+			c.Nodes()[0].NodeLocalBytes(), c.Nodes()[1].NodeLocalBytes(), c.Nodes()[2].NodeLocalBytes())
+	}
+	if c.Nodes()[2].ContainersCreated() == 0 {
+		t.Fatal("redirected request did not cold-start on the empty node")
+	}
+	// Both t requests completed; the fillers are still mid-execution.
+	if st.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", st.Requests)
+	}
+}
+
+func TestRackSharesMemNode(t *testing.T) {
+	// One pool-side memory node behind the rack: the same function's
+	// containers on different compute nodes dedup their init/runtime pages
+	// into one resident copy.
+	e := simtime.NewEngine()
+	c := New(e, Config{Nodes: 2, Scheduler: RoundRobin,
+		Node: faas.Config{KeepAliveTimeout: 10 * time.Minute},
+		Pool: rmem.Config{Node: &memnode.Config{DRAMBytes: 64 * workload.MB}}},
+		func() policy.Policy {
+			return core.New(core.Config{DisableSemiWarm: true})
+		})
+	c.Register("t", testProfile())
+	c.ScheduleInvocations("t", secs(0, 0.01, 3, 3.01))
+	e.RunUntil(30 * time.Second)
+
+	st := c.Stats()
+	if st.MemNode == nil {
+		t.Fatal("rack stats missing memnode snapshot")
+	}
+	if st.MemNode.LogicalBytes == 0 {
+		t.Fatal("no offloading reached the memory node")
+	}
+	if st.MemNode.DedupHitPages == 0 {
+		t.Fatalf("no dedup across the rack's containers: %+v", *st.MemNode)
+	}
+	if st.MemNode.ResidentBytes >= st.MemNode.LogicalBytes {
+		t.Fatalf("resident %d not below logical %d despite dedup",
+			st.MemNode.ResidentBytes, st.MemNode.LogicalBytes)
+	}
+	// The pool's byte ledger still tracks the compute side's remote bytes.
+	var remote int64
+	for _, n := range c.Nodes() {
+		remote += n.NodeRemoteBytes()
+	}
+	if got := c.Pool().Used(); got != remote {
+		t.Fatalf("pool used %d != rack remote %d", got, remote)
+	}
+	if err := c.Pool().Node().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }

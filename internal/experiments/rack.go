@@ -29,6 +29,9 @@ type RackRow struct {
 	// OffloadBWMBps is the rack-level link's average offload bandwidth —
 	// §9 sizes the rack link from this number.
 	OffloadBWMBps float64
+	// Rescheduled counts warm reuses redirected off memory-strapped nodes
+	// (the §9 load-imbalance case).
+	Rescheduled int
 }
 
 // RackDensityOptions sizes the rack study.
@@ -99,6 +102,7 @@ func RackDensity(opt RackDensityOptions) []RackRow {
 			Requests:      st.Requests,
 			AvgLocalMB:    st.TotalLocalAvgMB,
 			OffloadBWMBps: st.OffloadBWMBps,
+			Rescheduled:   st.Rescheduled,
 		}
 		if st.Requests > 0 {
 			row.ColdStartRatio = float64(st.ColdStarts) / float64(st.Requests)
@@ -123,7 +127,8 @@ func PrintRackDensity(w io.Writer, rows []RackRow) {
 			fmt.Sprintf("%d", r.Evicted),
 			fmt.Sprintf("%.0f MB", r.AvgLocalMB),
 			fmt.Sprintf("%.2f MB/s", r.OffloadBWMBps),
+			fmt.Sprintf("%d", r.Rescheduled),
 		}
 	}
-	writeTable(w, []string{"policy", "requests", "cold-start ratio", "evictions", "avg rack local", "offload BW"}, table)
+	writeTable(w, []string{"policy", "requests", "cold-start ratio", "evictions", "avg rack local", "offload BW", "rescheduled"}, table)
 }

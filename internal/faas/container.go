@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/cgroup"
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/policy"
@@ -18,9 +19,10 @@ import (
 
 // Container is one serverless container instance. It implements policy.View.
 type Container struct {
-	id string
-	fn *Function
-	p  *Platform
+	id    string
+	owner string // rack-unique ID for pool-side (memnode) accounting
+	fn    *Function
+	p     *Platform
 
 	space *pagemem.Space
 	lru   *mglru.LRU
@@ -69,6 +71,10 @@ func (p *Platform) launch(f *Function) *Container {
 		psi:      cgroup.NewPSI(now),
 		rng:      rand.New(rand.NewSource(p.rng.Int63())),
 		launched: now,
+	}
+	c.owner = c.id
+	if p.cfg.NodeID != "" {
+		c.owner = p.cfg.NodeID + "/" + c.id
 	}
 	c.lru = mglru.New(c.space)
 	p.met.launches.Inc()
@@ -173,10 +179,16 @@ func (c *Container) execute(arrival simtime.Time) {
 	var stall rmem.FaultStall
 	if faults+readahead > 0 {
 		pageBytes := int64(c.space.PageSize())
-		stall = c.p.pool.FaultBatchDetail(now, faults, pageBytes)
+		var fc rmem.ClassCounts
+		fc[memnode.ClassRuntime] = runtimeFaults
+		fc[memnode.ClassInit] = initFaults
+		stall = c.p.pool.FaultBatchOwner(now, c.owner, c.fn.id, fc, pageBytes)
 		faultLat = stall.Total
 		if readahead > 0 {
-			c.p.pool.RecallBytes(now, int64(readahead)*pageBytes)
+			var ra rmem.ClassCounts
+			ra[memnode.ClassRuntime] = runtimeRA
+			ra[memnode.ClassInit] = initRA
+			c.p.pool.RecallDescribed(now, c.owner, c.fn.id, ra, pageBytes)
 			c.p.swap.NoteClusterRead(readahead)
 		}
 		recalled := int64(faults+readahead) * pageBytes
@@ -408,7 +420,7 @@ func (c *Container) recycle() {
 	remote := c.space.RemoteBytes()
 	c.cg.Uncharge(now, local)
 	c.cg.DropRemote(now, remote)
-	c.p.pool.Discard(remote)
+	c.p.pool.DiscardOwner(c.owner, remote)
 	c.p.swap.Release(c.space.CountState(pagemem.Remote))
 
 	c.p.addLive(now, -1)
@@ -502,6 +514,20 @@ func (c *Container) greedyDualPriority() float64 {
 // Dead reports whether the container has been recycled.
 func (c *Container) Dead() bool { return c.dead }
 
+// classOf maps a page to its lifecycle class for pool-side description.
+func (c *Container) classOf(id pagemem.PageID) memnode.Class {
+	switch {
+	case c.runtimeRange.Contains(id):
+		return memnode.ClassRuntime
+	case c.initRange.Contains(id):
+		return memnode.ClassInit
+	case c.execRange.Contains(id):
+		return memnode.ClassExec
+	default:
+		return memnode.ClassOther
+	}
+}
+
 // OffloadPages implements policy.View: it moves local pages to the remote
 // pool, clamped to remaining pool capacity, charging the cgroup, node
 // accounting and link bandwidth.
@@ -520,34 +546,52 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		max = budget
 	}
 	max = c.p.swap.Allocate(max)
-	moved := make([]pagemem.PageID, 0, max)
+	// Select offloadable candidates and describe them by lifecycle class;
+	// the pool (and its memory node, when attached) admits per class.
+	cand := make([]pagemem.PageID, 0, max)
+	var counts rmem.ClassCounts
 	for _, id := range ids {
-		if len(moved) >= max {
+		if len(cand) >= max {
 			break
 		}
 		st := c.space.State(id)
 		if st != pagemem.Inactive && st != pagemem.Hot {
 			continue
 		}
+		cand = append(cand, id)
+		counts[c.classOf(id)]++
+	}
+	if len(cand) == 0 {
+		c.p.swap.Release(max)
+		return 0
+	}
+	accepted, _, err := c.p.pool.OffloadDescribed(now, c.owner, c.fn.id, counts, pageBytes)
+	if err != nil {
+		// The capacity clamp above should prevent this (ErrPoolFull);
+		// candidates stay local and keep their swap slots released.
+		c.p.swap.Release(max)
+		return 0
+	}
+	moved := make([]pagemem.PageID, 0, accepted.Total())
+	rem := accepted
+	for _, id := range cand {
+		cls := c.classOf(id)
+		if rem[cls] == 0 {
+			continue
+		}
+		rem[cls]--
 		c.space.SetState(id, pagemem.Remote)
 		moved = append(moved, id)
 	}
 	if len(moved) < max {
-		// Return the slots we claimed but did not fill.
+		// Return the slots we claimed but did not fill (state-filtered
+		// candidates plus node-rejected pages).
 		c.p.swap.Release(max - len(moved))
 	}
 	if len(moved) == 0 {
 		return 0
 	}
 	bytes := int64(len(moved)) * pageBytes
-	if _, err := c.p.pool.OffloadBytes(now, bytes); err != nil {
-		// The capacity clamp above should prevent this; undo defensively.
-		for _, id := range moved {
-			c.space.SetState(id, pagemem.Inactive)
-		}
-		c.p.swap.Release(len(moved))
-		return 0
-	}
 	c.cg.Offload(now, bytes)
 	if c.p.spans.Enabled() {
 		start, done := c.p.pool.LastTransferWindow()
@@ -557,20 +601,13 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		})
 	}
 	if c.p.tel.Enabled() {
-		// Classify the moved pages by lifecycle segment so the trace and the
-		// per-stage counters show which Pucket the savings came from.
+		// The accepted per-class counts are the moved pages by lifecycle
+		// segment (memnode.Class numbering matches telemetry.Stage), so the
+		// trace and per-stage counters show which Pucket the savings came
+		// from.
 		var perStage [4]int64
-		for _, id := range moved {
-			switch {
-			case c.runtimeRange.Contains(id):
-				perStage[telemetry.StageRuntime]++
-			case c.initRange.Contains(id):
-				perStage[telemetry.StageInit]++
-			case c.execRange.Contains(id):
-				perStage[telemetry.StageExec]++
-			default:
-				perStage[telemetry.StageNone]++
-			}
+		for cls, n := range accepted {
+			perStage[cls] = int64(n)
 		}
 		for st, n := range perStage {
 			if n == 0 {

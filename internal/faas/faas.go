@@ -81,6 +81,11 @@ type Config struct {
 	Spans *span.Recorder
 	// Seed drives all stochastic workload behaviour deterministically.
 	Seed int64
+	// NodeID names this compute node in pool-side (memnode) accounting.
+	// Container IDs repeat across the platforms of a rack-shared pool, so
+	// the cluster assigns each node a distinct ID to keep described-page
+	// owners unique. Empty is fine for a single-node platform.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {

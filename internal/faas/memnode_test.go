@@ -1,0 +1,69 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/memnode"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// TestMemNodeLedgerInvariants runs a platform on a memnode-backed pool with
+// tiers small enough to force compression and spill, and checks at every
+// virtual second that (a) the node's internal invariants hold and (b) the
+// pool's byte ledger equals the node's logical bytes — i.e. logical bytes
+// always equal the sum of the containers' outstanding offloads.
+func TestMemNodeLedgerInvariants(t *testing.T) {
+	e := simtime.NewEngine()
+	p := New(e, Config{
+		KeepAliveTimeout: 5 * time.Second,
+		NodeID:           "n0",
+		Pool: rmem.Config{Node: &memnode.Config{
+			DRAMBytes:  1 * workload.MB,
+			SpillBytes: 8 * workload.MB,
+		}},
+		Seed: 1,
+	}, offloadAllPolicy{})
+	f := p.Register("f", tinyProfile())
+	p.ScheduleInvocations("f", []simtime.Time{
+		0, 10 * time.Millisecond, // scale-out: two containers, dedup fan-in
+		2 * time.Second, 10 * time.Second, // warm reuses that fault pages back
+	})
+	for i := 1; i <= 30; i++ {
+		e.At(simtime.Time(i)*simtime.Time(time.Second), func(_ *simtime.Engine) {
+			node := p.Pool().Node()
+			if err := node.CheckInvariants(); err != nil {
+				t.Fatalf("t=%ds: %v", i, err)
+			}
+			if got, want := p.Pool().Used(), node.Stats().LogicalBytes; got != want {
+				t.Fatalf("t=%ds: pool ledger %d != node logical %d", i, got, want)
+			}
+		})
+	}
+	e.Run()
+
+	node := p.Pool().Node()
+	st := node.Stats()
+	if st.PeakLogicalBytes == 0 {
+		t.Fatal("nothing was ever offloaded to the node")
+	}
+	if st.DedupHitPages == 0 {
+		t.Fatal("concurrent containers of one function produced no dedup hits")
+	}
+	if st.CompressedPages == 0 && st.SpilledPages == 0 {
+		t.Fatal("1 MB DRAM never pushed pages into the cold tiers")
+	}
+	if f.stats.FaultPages == 0 {
+		t.Fatal("warm reuses never faulted offloaded pages back")
+	}
+	// Keep-alive expired and every container recycled: all references
+	// released, so the node must be empty again.
+	if st.LogicalBytes != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("node not drained after recycle: %+v", st)
+	}
+	if err := node.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

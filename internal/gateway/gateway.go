@@ -184,7 +184,7 @@ var experimentNames = []string{
 	"fig1", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
-	"ext-percentile", "ext-rack", "ext-attrib",
+	"ext-percentile", "ext-rack", "ext-attrib", "ext-pool-density",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -245,6 +245,8 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.RackDensity(experiments.RackDensityOptions{Duration: 8 * time.Minute, Seed: seed})
 	case "ext-attrib":
 		rows = experiments.AttribPressure(experiments.AttribPressureOptions{Duration: 10 * time.Minute, Seed: seed})
+	case "ext-pool-density":
+		rows = experiments.PoolDensity(experiments.PoolDensityOptions{Duration: 5 * time.Minute, Seed: seed})
 	default:
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
 		return

@@ -182,18 +182,74 @@ func TestReplayEndpoint(t *testing.T) {
 }
 
 func TestReplayValidation(t *testing.T) {
-	cases := []string{
-		`{}`, // missing trace
-		`{"trace": {"duration": -1}}`,
-		`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}, "policy": "nope"}`,
-		`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}, "profile": "nope"}`,
-		`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0,1,2]}]}, "max_invocations": 2}`,
+	cases := []struct {
+		body string
+		want string // substring of the error message, "" for any
+	}{
+		{`{}`, "missing trace"},
+		{`{"trace": {"duration": -1}}`, ""},
+		{`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}, "policy": "nope"}`,
+			"(options: baseline,"},
+		{`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}, "profile": "nope"}`,
+			"(options: mix, bert,"},
+		{`{"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0,1,2]}]}, "max_invocations": 2}`,
+			"limit 2"},
 	}
-	for i, body := range cases {
-		rec := do(t, http.MethodPost, "/replay", body)
+	for i, tc := range cases {
+		rec := do(t, http.MethodPost, "/replay", tc.body)
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("case %d: status = %d, want 400", i, rec.Code)
+			continue
 		}
+		if tc.want != "" && !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("case %d: body %q missing %q", i, rec.Body.String(), tc.want)
+		}
+	}
+	// Bad policy and profile must be rejected before the trace is inspected.
+	rec := do(t, http.MethodPost, "/replay", `{"policy": "nope"}`)
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "unknown policy") {
+		t.Errorf("policy-only body: status %d, body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestReplayMemNode(t *testing.T) {
+	body := `{
+		"trace": {"duration": 180000000000, "functions": [
+			{"id": "a", "invocations": [0, 20000000000, 40000000000]},
+			{"id": "b", "invocations": [1000000000, 50000000000]}
+		]},
+		"profile": "json",
+		"policy": "faasmem",
+		"seed": 5,
+		"mem_node": {"dram_mb": 64, "spill_mb": 64}
+	}`
+	rec := do(t, http.MethodPost, "/replay", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ReplayResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.MemNode == nil {
+		t.Fatal("mem_node stats missing from response")
+	}
+	if resp.OffloadedMB > 0 && resp.MemNode.LogicalPeakMB <= 0 {
+		t.Fatalf("offloaded %f MB but logical peak %f", resp.OffloadedMB, resp.MemNode.LogicalPeakMB)
+	}
+	if resp.MemNode.ResidentPeakMB > resp.MemNode.LogicalPeakMB {
+		t.Fatalf("resident peak %f exceeds logical peak %f",
+			resp.MemNode.ResidentPeakMB, resp.MemNode.LogicalPeakMB)
+	}
+	// Without the mem_node block, the response must omit the stats.
+	plain := do(t, http.MethodPost, "/replay", `{
+		"trace": {"duration": 60000000000, "functions": [{"id":"a","invocations":[0]}]}
+	}`)
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain replay status = %d: %s", plain.Code, plain.Body.String())
+	}
+	if strings.Contains(plain.Body.String(), "logical_peak_mb") {
+		t.Fatal("plain replay unexpectedly reported mem_node stats")
 	}
 }
 
@@ -206,8 +262,8 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(names))
+	if len(names) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(names))
 	}
 	// Every advertised name must actually dispatch.
 	for _, n := range names {

@@ -1,0 +1,949 @@
+// Package memnode models the pool side of the disaggregated-memory rack
+// (§9 of the paper): a memory node that receives offloaded pages *described*
+// by their provenance (function, container, lifecycle class) rather than as
+// anonymous bytes, and manages them for density.
+//
+// Three mechanisms multiply the node's effective capacity:
+//
+//   - Content-class dedup: FaaSMem offloads mostly init-epoch (and runtime)
+//     pages, which are near-identical across containers of the same function
+//     ("User-guided Page Merging for Memory Deduplication in Serverless
+//     Systems"). The node keeps one resident copy per (function, class) with
+//     a refcount; each additional container's offload of the same prefix
+//     shares it.
+//   - A zswap-style compression tier: under DRAM pressure cold entries are
+//     compressed in place at a configurable ratio; recalls of compressed
+//     pages pay a decompression latency ("Squeezy: Rapid VM Memory
+//     Reclamation for Serverless Functions").
+//   - A spill tier with LRU-by-class eviction: when compressed DRAM still
+//     does not fit, the least recently used entries of the least valuable
+//     class (exec first, shared init last) are demoted to a slower backing
+//     store. Demotion never drops pages — every offloaded page stays
+//     recallable, it just gets slower — so the compute-side Remote state
+//     never diverges from the pool.
+//
+// Per-tenant quotas bound any one tenant's logical footprint; over-quota
+// offloads are truncated and counted.
+//
+// The node is pure bookkeeping on virtual time: it returns latencies for the
+// caller (rmem.Pool) to fold into fault stalls, and never blocks. All state
+// is deterministic — eviction scans walk insertion/recency-ordered lists,
+// never Go map iteration order.
+package memnode
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/telemetry"
+)
+
+// Class is the lifecycle class of a described page batch. The numbering
+// matches telemetry.Stage so offload instrumentation can convert for free.
+type Class uint8
+
+const (
+	// ClassOther is a page outside any tracked segment.
+	ClassOther Class = iota
+	// ClassRuntime is a runtime-segment page (Runtime Pucket).
+	ClassRuntime
+	// ClassInit is an init-segment page (Init Pucket).
+	ClassInit
+	// ClassExec is an exec-segment temporary.
+	ClassExec
+	// NumClasses sizes per-class arrays.
+	NumClasses = 4
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassRuntime:
+		return "runtime"
+	case ClassInit:
+		return "init"
+	case ClassExec:
+		return "exec"
+	default:
+		return "other"
+	}
+}
+
+// Shared reports whether the class dedups across containers of one function.
+// Runtime and init pages are materialized from the same image/initialization
+// and are near-identical between containers; exec temporaries are per-request
+// private data.
+func (c Class) Shared() bool { return c == ClassRuntime || c == ClassInit }
+
+// victimOrder is the eviction class priority, most evictable first: private
+// exec/other pages go before the shared runtime copy, and the init copy —
+// the highest-fan-in dedup target — is evicted last.
+var victimOrder = [NumClasses]Class{ClassExec, ClassOther, ClassRuntime, ClassInit}
+
+// Config describes a memory node. The zero value gets workable defaults.
+type Config struct {
+	// PageSize in bytes. Default 4096.
+	PageSize int `json:"page_size,omitempty"`
+	// DRAMBytes is the node's DRAM, holding the hot and compressed tiers.
+	// Default 16 GiB.
+	DRAMBytes int64 `json:"dram_bytes,omitempty"`
+	// SpillBytes bounds the spill tier. Zero means unbounded (the node can
+	// always demote, so it never rejects for capacity).
+	SpillBytes int64 `json:"spill_bytes,omitempty"`
+	// DisableDedup stores every described batch privately (the baseline the
+	// density experiments compare against).
+	DisableDedup bool `json:"disable_dedup,omitempty"`
+	// DisableCompression turns the compression tier off.
+	DisableCompression bool `json:"disable_compression,omitempty"`
+	// CompressRatio is the zswap-style compression ratio (stored bytes =
+	// raw/ratio). Default 3.0 — typical for zeroed/initialized pages.
+	CompressRatio float64 `json:"compress_ratio,omitempty"`
+	// CompressLatency is the pool-side CPU cost of compressing one page.
+	// It is off the request critical path (compression runs on the node)
+	// but accumulated in Stats for capacity planning. Default 1 µs.
+	CompressLatency time.Duration `json:"compress_latency,omitempty"`
+	// DecompressLatency is added to a recall for each page served from the
+	// compressed tier. Default 3 µs.
+	DecompressLatency time.Duration `json:"decompress_latency,omitempty"`
+	// SpillLatency is added to a recall for each page served from the spill
+	// tier. Default 80 µs (NVMe-class read).
+	SpillLatency time.Duration `json:"spill_latency,omitempty"`
+	// TenantQuotaBytes caps any one tenant's logical bytes on the node.
+	// Zero disables quotas.
+	TenantQuotaBytes int64 `json:"tenant_quota_bytes,omitempty"`
+	// TenantOf maps a function ID to its tenant for quota accounting.
+	// Default: every function is its own tenant.
+	TenantOf func(fn string) string `json:"-"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	if c.DRAMBytes <= 0 {
+		c.DRAMBytes = 16 << 30
+	}
+	if c.CompressRatio <= 1 {
+		c.CompressRatio = 3.0
+	}
+	if c.CompressLatency <= 0 {
+		c.CompressLatency = time.Microsecond
+	}
+	if c.DecompressLatency <= 0 {
+		c.DecompressLatency = 3 * time.Microsecond
+	}
+	if c.SpillLatency <= 0 {
+		c.SpillLatency = 80 * time.Microsecond
+	}
+	return c
+}
+
+// entryKey identifies a page-store entry: shared entries (dedupable classes)
+// key on the function, private entries on the owning container.
+type entryKey struct {
+	fn    string
+	owner string // "" for shared entries
+	class Class
+}
+
+// entry is one resident copy in the page store: the pages of one class of
+// one function (shared) or one container (private), tracked per tier.
+type entry struct {
+	key    entryKey
+	shared bool
+
+	// refs maps owner container → logical pages it holds against this entry
+	// (shared entries only). The resident copy is the longest offloaded
+	// prefix: maxPages = max over refs, atMax = owners currently at it.
+	refs     map[string]int
+	maxPages int
+	atMax    int
+	// pages is the private-entry page count.
+	pages int
+
+	// Resident pages by tier; hot+comp+spill always equals the resident
+	// target (maxPages or pages).
+	hot, comp, spill int
+
+	// Recency list links (per-class LRU; head is coldest).
+	prev, next *entry
+}
+
+func (e *entry) residentTarget() int {
+	if e.shared {
+		return e.maxPages
+	}
+	return e.pages
+}
+
+// ownerRefs indexes one container's holdings for O(its entries) discard.
+type ownerRefs struct {
+	keys  []entryKey // insertion order, for deterministic iteration
+	seen  map[entryKey]bool
+	pages int64 // logical pages this owner holds
+}
+
+// RecallCost is what recalling pages from the node costs the caller.
+type RecallCost struct {
+	// Pages actually released (clamped to the owner's holdings).
+	Pages int
+	// Latency is the tier surcharge: decompression and spill reads for the
+	// fraction of the resident copy living in those tiers.
+	Latency time.Duration
+}
+
+// Stats is a point-in-time snapshot of the node.
+type Stats struct {
+	LogicalBytes       int64 `json:"logical_bytes"`
+	ResidentBytes      int64 `json:"resident_bytes"`
+	DRAMUsedBytes      int64 `json:"dram_used_bytes"`
+	SpillUsedBytes     int64 `json:"spill_used_bytes"`
+	DedupSavedBytes    int64 `json:"dedup_saved_bytes"`
+	CompressSavedBytes int64 `json:"compress_saved_bytes"`
+
+	PeakLogicalBytes  int64 `json:"peak_logical_bytes"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+
+	Entries int `json:"entries"`
+	Owners  int `json:"owners"`
+
+	DedupHitPages    int64 `json:"dedup_hit_pages"`
+	CompressedPages  int64 `json:"compressed_pages"`
+	SpilledPages     int64 `json:"spilled_pages"`
+	Evictions        int64 `json:"evictions"`
+	QuotaRejectPages int64 `json:"quota_reject_pages"`
+	FullRejectPages  int64 `json:"full_reject_pages"`
+
+	// Pool-side CPU time spent (de)compressing — off the request critical
+	// path for compression, on it for decompression.
+	CompressTime   time.Duration `json:"compress_time"`
+	DecompressTime time.Duration `json:"decompress_time"`
+}
+
+// Node is a simulated pool-side memory node. Not safe for concurrent use;
+// the DES engine is single-threaded by design.
+type Node struct {
+	cfg Config
+
+	entries map[entryKey]*entry
+	owners  map[string]*ownerRefs
+	tenants map[string]int64 // tenant → logical bytes
+	// Per-class recency lists: head is LRU, tail is MRU.
+	lruHead, lruTail [NumClasses]*entry
+
+	logicalPages    int64
+	hotPages        int64
+	compPages       int64
+	spillPages      int64
+	compStoredBytes int64 // DRAM actually used by the compressed tier
+
+	peakLogicalBytes  int64
+	peakResidentBytes int64
+
+	dedupHitPages    int64
+	compressedPages  int64
+	spilledPages     int64
+	evictions        int64
+	quotaRejectPages int64
+	fullRejectPages  int64
+	compressTime     time.Duration
+	decompressTime   time.Duration
+
+	met nodeMetrics
+}
+
+// nodeMetrics are the node's exported gauges and counters; every field is a
+// no-op nil *telemetry.Metric until Instrument attaches a registry.
+type nodeMetrics struct {
+	logical      *telemetry.Metric
+	resident     *telemetry.Metric
+	dramUsed     *telemetry.Metric
+	spillUsed    *telemetry.Metric
+	dedupSaved   *telemetry.Metric
+	compSaved    *telemetry.Metric
+	dedupHits    *telemetry.Metric
+	compressed   *telemetry.Metric
+	spilled      *telemetry.Metric
+	evictions    *telemetry.Metric
+	quotaRejects *telemetry.Metric
+	fullRejects  *telemetry.Metric
+}
+
+// New creates a node from cfg, applying defaults for zero fields.
+func New(cfg Config) *Node {
+	return &Node{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[entryKey]*entry),
+		owners:  make(map[string]*ownerRefs),
+		tenants: make(map[string]int64),
+	}
+}
+
+// Config returns the effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Instrument attaches a metric registry. Nil-safe on both sides; later calls
+// with a nil registry are ignored.
+func (n *Node) Instrument(reg *telemetry.Registry) {
+	if n == nil || reg == nil {
+		return
+	}
+	n.met = nodeMetrics{
+		logical:      reg.Gauge("faasmem_memnode_logical_bytes", "bytes offloaded to the memory node (pre-dedup/compression)"),
+		resident:     reg.Gauge("faasmem_memnode_resident_bytes", "bytes the node actually stores (post-dedup/compression, DRAM+spill)"),
+		dramUsed:     reg.Gauge("faasmem_memnode_dram_used_bytes", "node DRAM in use (hot + compressed tiers)"),
+		spillUsed:    reg.Gauge("faasmem_memnode_spill_used_bytes", "node spill tier in use"),
+		dedupSaved:   reg.Gauge("faasmem_memnode_dedup_saved_bytes", "bytes saved by content-class dedup"),
+		compSaved:    reg.Gauge("faasmem_memnode_compress_saved_bytes", "bytes saved by the compression tier"),
+		dedupHits:    reg.Counter("faasmem_memnode_dedup_hit_pages_total", "offloaded pages admitted without a new resident copy"),
+		compressed:   reg.Counter("faasmem_memnode_compressed_pages_total", "pages moved into the compression tier"),
+		spilled:      reg.Counter("faasmem_memnode_spilled_pages_total", "pages demoted to the spill tier"),
+		evictions:    reg.Counter("faasmem_memnode_evictions_total", "LRU-by-class eviction (demotion) events"),
+		quotaRejects: reg.Counter("faasmem_memnode_quota_reject_pages_total", "offloaded pages rejected by tenant quota"),
+		fullRejects:  reg.Counter("faasmem_memnode_full_reject_pages_total", "offloaded pages rejected because DRAM and spill were full"),
+	}
+	n.syncGauges()
+}
+
+func (n *Node) tenantOf(fn string) string {
+	if n.cfg.TenantOf != nil {
+		return n.cfg.TenantOf(fn)
+	}
+	return fn
+}
+
+// compStored returns the DRAM the compression tier needs for pages.
+func (n *Node) compStored(pages int) int64 {
+	if pages <= 0 {
+		return 0
+	}
+	return int64(float64(pages) * float64(n.cfg.PageSize) / n.cfg.CompressRatio)
+}
+
+// LogicalBytes is the sum of every owner's offloads — what the compute side
+// believes is stored remotely.
+func (n *Node) LogicalBytes() int64 { return n.logicalPages * int64(n.cfg.PageSize) }
+
+// DRAMUsedBytes is hot-tier raw bytes plus compressed-tier stored bytes.
+func (n *Node) DRAMUsedBytes() int64 {
+	return n.hotPages*int64(n.cfg.PageSize) + n.compStoredBytes
+}
+
+// SpillUsedBytes is the spill tier's stored bytes.
+func (n *Node) SpillUsedBytes() int64 { return n.spillPages * int64(n.cfg.PageSize) }
+
+// ResidentBytes is what the node actually stores: DRAM plus spill.
+func (n *Node) ResidentBytes() int64 { return n.DRAMUsedBytes() + n.SpillUsedBytes() }
+
+// DedupSavedBytes is the logical-minus-resident page savings from sharing.
+func (n *Node) DedupSavedBytes() int64 {
+	return (n.logicalPages - n.hotPages - n.compPages - n.spillPages) * int64(n.cfg.PageSize)
+}
+
+// CompressSavedBytes is the DRAM saved by storing comp-tier pages compressed.
+func (n *Node) CompressSavedBytes() int64 {
+	return n.compPages*int64(n.cfg.PageSize) - n.compStoredBytes
+}
+
+// AcceptableBytes is the effective headroom an offloader may assume: free
+// DRAM, plus what compressing the current hot tier would reclaim, plus free
+// spill. With an unbounded spill tier the node never rejects for capacity.
+func (n *Node) AcceptableBytes() int64 {
+	if n.cfg.SpillBytes <= 0 {
+		return math.MaxInt64 / 4
+	}
+	free := n.cfg.DRAMBytes - n.DRAMUsedBytes()
+	if !n.cfg.DisableCompression {
+		free += n.hotPages*int64(n.cfg.PageSize) - n.compStored(int(n.hotPages))
+	}
+	free += n.cfg.SpillBytes - n.SpillUsedBytes()
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// key returns the store key a described batch lands under.
+func (n *Node) key(owner, fn string, class Class) entryKey {
+	if class.Shared() && !n.cfg.DisableDedup {
+		return entryKey{fn: fn, class: class}
+	}
+	return entryKey{fn: fn, owner: owner, class: class}
+}
+
+// Offload admits a described batch of pages and returns how many were
+// accepted. Rejections (tenant quota, node full) truncate the batch; the
+// caller keeps rejected pages local.
+func (n *Node) Offload(owner, fn string, class Class, pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	ps := int64(n.cfg.PageSize)
+	accepted := pages
+
+	if n.cfg.TenantQuotaBytes > 0 {
+		tenant := n.tenantOf(fn)
+		freePages := int((n.cfg.TenantQuotaBytes - n.tenants[tenant]) / ps)
+		if freePages < 0 {
+			freePages = 0
+		}
+		if accepted > freePages {
+			n.quotaRejectPages += int64(accepted - freePages)
+			n.met.quotaRejects.Add(int64(accepted - freePages))
+			accepted = freePages
+		}
+		if accepted == 0 {
+			n.syncGauges()
+			return 0
+		}
+	}
+
+	key := n.key(owner, fn, class)
+	e := n.entries[key]
+	created := e == nil
+	if created {
+		e = &entry{key: key, shared: key.owner == ""}
+		if e.shared {
+			e.refs = make(map[string]int)
+		}
+		n.entries[key] = e
+		n.lruPush(e)
+	}
+
+	cur := e.pages
+	if e.shared {
+		cur = e.refs[owner]
+	}
+
+	// Growth is the part of the batch that needs a new resident copy; for
+	// shared entries the prefix up to the current longest offload dedups.
+	growth := accepted
+	if e.shared {
+		growth = cur + accepted - e.maxPages
+		if growth < 0 {
+			growth = 0
+		}
+		n.dedupHitPages += int64(accepted - growth)
+		n.met.dedupHits.Add(int64(accepted - growth))
+	}
+
+	// Fit the growth: evict for hot-tier room first; what still does not fit
+	// in DRAM is admitted straight into the spill tier; the rest is rejected.
+	hotFit, spillFit := growth, 0
+	if growth > 0 {
+		hotFit = n.makeRoom(growth)
+		if hotFit < growth {
+			spillFit = growth - hotFit
+			if n.cfg.SpillBytes > 0 {
+				if free := int((n.cfg.SpillBytes - n.SpillUsedBytes()) / ps); free < spillFit {
+					spillFit = free
+				}
+				if spillFit < 0 {
+					spillFit = 0
+				}
+			}
+			rejected := growth - hotFit - spillFit
+			if rejected > 0 {
+				n.fullRejectPages += int64(rejected)
+				n.met.fullRejects.Add(int64(rejected))
+				accepted -= rejected
+				growth -= rejected
+			}
+		}
+	}
+	if accepted <= 0 {
+		if created {
+			n.freeEntry(e)
+		}
+		n.syncGauges()
+		return 0
+	}
+
+	e.hot += hotFit
+	n.hotPages += int64(hotFit)
+	e.spill += spillFit
+	n.spillPages += int64(spillFit)
+	n.spilledPages += int64(spillFit)
+	n.met.spilled.Add(int64(spillFit))
+	newCount := cur + accepted
+	if e.shared {
+		if cur == e.maxPages && e.maxPages > 0 {
+			e.atMax--
+		}
+		e.refs[owner] = newCount
+		if newCount > e.maxPages {
+			e.maxPages = newCount
+			e.atMax = 1
+		} else if newCount == e.maxPages {
+			e.atMax++
+		}
+	} else {
+		e.pages = newCount
+	}
+	n.logicalPages += int64(accepted)
+	n.tenants[n.tenantOf(fn)] += int64(accepted) * ps
+	n.registerOwner(owner, key, int64(accepted))
+	n.lruTouch(e)
+
+	if lb := n.LogicalBytes(); lb > n.peakLogicalBytes {
+		n.peakLogicalBytes = lb
+	}
+	if rb := n.ResidentBytes(); rb > n.peakResidentBytes {
+		n.peakResidentBytes = rb
+	}
+	n.syncGauges()
+	return accepted
+}
+
+// Recall releases pages an owner holds (a demand fault or bulk recall on the
+// compute side) and prices the tier surcharge: the fraction of the resident
+// copy living compressed pays DecompressLatency per page, the spilled
+// fraction SpillLatency. Releasing the last reference frees the resident
+// copy.
+func (n *Node) Recall(owner, fn string, class Class, pages int) RecallCost {
+	if pages <= 0 {
+		return RecallCost{}
+	}
+	key := n.key(owner, fn, class)
+	e := n.entries[key]
+	if e == nil {
+		return RecallCost{}
+	}
+	cur := e.pages
+	if e.shared {
+		cur = e.refs[owner]
+	}
+	if pages > cur {
+		pages = cur
+	}
+	if pages == 0 {
+		return RecallCost{}
+	}
+
+	var lat time.Duration
+	if rt := e.residentTarget(); rt > 0 {
+		comp := float64(e.comp) / float64(rt) * float64(pages)
+		spill := float64(e.spill) / float64(rt) * float64(pages)
+		dec := time.Duration(comp * float64(n.cfg.DecompressLatency))
+		lat = dec + time.Duration(spill*float64(n.cfg.SpillLatency))
+		n.decompressTime += dec
+	}
+
+	n.release(e, owner, pages)
+	n.logicalPages -= int64(pages)
+	n.tenants[n.tenantOf(fn)] -= int64(pages) * int64(n.cfg.PageSize)
+	if or := n.owners[owner]; or != nil {
+		or.pages -= int64(pages)
+	}
+	n.syncGauges()
+	return RecallCost{Pages: pages, Latency: lat}
+}
+
+// DiscardOwner drops everything a container holds (its recycle path) without
+// transfer or latency, and returns the logical bytes freed.
+func (n *Node) DiscardOwner(owner string) int64 {
+	or := n.owners[owner]
+	if or == nil {
+		return 0
+	}
+	ps := int64(n.cfg.PageSize)
+	var freed int64
+	for _, key := range or.keys {
+		e := n.entries[key]
+		if e == nil {
+			continue
+		}
+		cur := 0
+		if e.shared {
+			cur = e.refs[owner]
+		} else if key.owner == owner {
+			cur = e.pages
+		}
+		if cur == 0 {
+			continue
+		}
+		n.release(e, owner, cur)
+		freed += int64(cur)
+		n.tenants[n.tenantOf(key.fn)] -= int64(cur) * ps
+	}
+	n.logicalPages -= freed
+	delete(n.owners, owner)
+	n.syncGauges()
+	return freed * ps
+}
+
+// release drops pages of owner's holding against e, shrinking the resident
+// copy when the longest offloaded prefix shrinks and freeing the entry when
+// the last reference goes.
+func (n *Node) release(e *entry, owner string, pages int) {
+	if e.shared {
+		cur := e.refs[owner]
+		newCount := cur - pages
+		if cur == e.maxPages {
+			e.atMax--
+		}
+		if newCount > 0 {
+			e.refs[owner] = newCount
+		} else {
+			delete(e.refs, owner)
+		}
+		if e.atMax == 0 {
+			// The longest prefix shrank; recompute it. Map iteration order
+			// does not matter for a max+count.
+			newMax, cnt := 0, 0
+			for _, v := range e.refs {
+				if v > newMax {
+					newMax, cnt = v, 1
+				} else if v == newMax {
+					cnt++
+				}
+			}
+			shrink := e.maxPages - newMax
+			e.maxPages, e.atMax = newMax, cnt
+			n.shrinkEntry(e, shrink)
+		}
+		if len(e.refs) == 0 {
+			n.freeEntry(e)
+			return
+		}
+	} else {
+		e.pages -= pages
+		n.shrinkEntry(e, pages)
+		if e.pages == 0 {
+			n.freeEntry(e)
+			return
+		}
+	}
+	n.lruTouch(e)
+}
+
+// shrinkEntry frees k resident pages from e, coldest copies first (spill,
+// then compressed, then hot), keeping the tier sum equal to the resident
+// target.
+func (n *Node) shrinkEntry(e *entry, k int) {
+	if k <= 0 {
+		return
+	}
+	if d := min(k, e.spill); d > 0 {
+		e.spill -= d
+		n.spillPages -= int64(d)
+		k -= d
+	}
+	if d := min(k, e.comp); d > 0 {
+		n.compStoredBytes += n.compStored(e.comp-d) - n.compStored(e.comp)
+		e.comp -= d
+		n.compPages -= int64(d)
+		k -= d
+	}
+	if d := min(k, e.hot); d > 0 {
+		e.hot -= d
+		n.hotPages -= int64(d)
+		k -= d
+	}
+	if k > 0 {
+		panic(fmt.Sprintf("memnode: shrink underflow on %v (%d pages left)", e.key, k))
+	}
+}
+
+// freeEntry removes an empty entry from the store.
+func (n *Node) freeEntry(e *entry) {
+	n.shrinkEntry(e, e.residentTarget())
+	if e.shared {
+		e.maxPages, e.atMax = 0, 0
+	} else {
+		e.pages = 0
+	}
+	n.shrinkEntry(e, e.hot+e.comp+e.spill)
+	n.lruRemove(e)
+	delete(n.entries, e.key)
+}
+
+// makeRoom tries to fit `pages` new hot pages in DRAM: first compress cold
+// entries (LRU within the victim class order), then demote to spill, then
+// give up and report how many pages actually fit.
+func (n *Node) makeRoom(pages int) int {
+	ps := int64(n.cfg.PageSize)
+	over := func() int64 {
+		return n.DRAMUsedBytes() + int64(pages)*ps - n.cfg.DRAMBytes
+	}
+	if over() <= 0 {
+		return pages
+	}
+
+	if !n.cfg.DisableCompression {
+		for _, cls := range victimOrder {
+			for e := n.lruHead[cls]; e != nil && over() > 0; e = e.next {
+				if e.hot == 0 {
+					continue
+				}
+				n.compressEntry(e)
+			}
+			if over() <= 0 {
+				return pages
+			}
+		}
+	}
+
+	// Demote to spill, LRU-by-class, page-granular up to the deficit.
+	spillFree := func() int64 {
+		if n.cfg.SpillBytes <= 0 {
+			return math.MaxInt64 / 4
+		}
+		return n.cfg.SpillBytes - n.SpillUsedBytes()
+	}
+	for _, cls := range victimOrder {
+		for e := n.lruHead[cls]; e != nil; e = e.next {
+			o := over()
+			if o <= 0 {
+				return pages
+			}
+			free := spillFree()
+			if free < ps {
+				break
+			}
+			// Hot pages first: each frees a full raw page of DRAM. The
+			// compressed tier barely occupies DRAM, so it spills last.
+			k := min(e.hot, int(min64((o+ps-1)/ps, free/ps)))
+			if k > 0 {
+				e.hot -= k
+				e.spill += k
+				n.hotPages -= int64(k)
+				n.spillPages += int64(k)
+				n.noteSpill(k)
+			}
+			if o = over(); o <= 0 {
+				return pages
+			}
+			if free = spillFree(); free < ps || e.comp == 0 {
+				continue
+			}
+			k = min(e.comp, int(free/ps))
+			if k > 0 {
+				n.compStoredBytes += n.compStored(e.comp-k) - n.compStored(e.comp)
+				e.comp -= k
+				e.spill += k
+				n.compPages -= int64(k)
+				n.spillPages += int64(k)
+				n.noteSpill(k)
+			}
+		}
+		if over() <= 0 {
+			return pages
+		}
+	}
+
+	if o := over(); o > 0 {
+		drop := int((o + ps - 1) / ps)
+		if drop > pages {
+			drop = pages
+		}
+		pages -= drop
+	}
+	return pages
+}
+
+// compressEntry moves an entry's whole hot tier into the compressed tier
+// (zswap compresses cold segments wholesale).
+func (n *Node) compressEntry(e *entry) {
+	k := e.hot
+	if k == 0 {
+		return
+	}
+	n.compStoredBytes += n.compStored(e.comp+k) - n.compStored(e.comp)
+	e.hot = 0
+	e.comp += k
+	n.hotPages -= int64(k)
+	n.compPages += int64(k)
+	n.compressedPages += int64(k)
+	n.compressTime += time.Duration(k) * n.cfg.CompressLatency
+	n.met.compressed.Add(int64(k))
+}
+
+func (n *Node) noteSpill(pages int) {
+	n.spilledPages += int64(pages)
+	n.evictions++
+	n.met.spilled.Add(int64(pages))
+	n.met.evictions.Inc()
+}
+
+// registerOwner indexes the owner's association with key for DiscardOwner.
+func (n *Node) registerOwner(owner string, key entryKey, pages int64) {
+	or := n.owners[owner]
+	if or == nil {
+		or = &ownerRefs{seen: make(map[entryKey]bool)}
+		n.owners[owner] = or
+	}
+	if !or.seen[key] {
+		or.seen[key] = true
+		or.keys = append(or.keys, key)
+	}
+	or.pages += pages
+}
+
+// OwnerLogicalBytes reports one container's logical holdings.
+func (n *Node) OwnerLogicalBytes(owner string) int64 {
+	if or := n.owners[owner]; or != nil {
+		return or.pages * int64(n.cfg.PageSize)
+	}
+	return 0
+}
+
+// TenantLogicalBytes reports one tenant's logical holdings.
+func (n *Node) TenantLogicalBytes(tenant string) int64 { return n.tenants[tenant] }
+
+// Stats snapshots the node.
+func (n *Node) Stats() Stats {
+	return Stats{
+		LogicalBytes:       n.LogicalBytes(),
+		ResidentBytes:      n.ResidentBytes(),
+		DRAMUsedBytes:      n.DRAMUsedBytes(),
+		SpillUsedBytes:     n.SpillUsedBytes(),
+		DedupSavedBytes:    n.DedupSavedBytes(),
+		CompressSavedBytes: n.CompressSavedBytes(),
+		PeakLogicalBytes:   n.peakLogicalBytes,
+		PeakResidentBytes:  n.peakResidentBytes,
+		Entries:            len(n.entries),
+		Owners:             len(n.owners),
+		DedupHitPages:      n.dedupHitPages,
+		CompressedPages:    n.compressedPages,
+		SpilledPages:       n.spilledPages,
+		Evictions:          n.evictions,
+		QuotaRejectPages:   n.quotaRejectPages,
+		FullRejectPages:    n.fullRejectPages,
+		CompressTime:       n.compressTime,
+		DecompressTime:     n.decompressTime,
+	}
+}
+
+func (n *Node) syncGauges() {
+	n.met.logical.Set(n.LogicalBytes())
+	n.met.resident.Set(n.ResidentBytes())
+	n.met.dramUsed.Set(n.DRAMUsedBytes())
+	n.met.spillUsed.Set(n.SpillUsedBytes())
+	n.met.dedupSaved.Set(n.DedupSavedBytes())
+	n.met.compSaved.Set(n.CompressSavedBytes())
+}
+
+// --- per-class LRU lists ---
+
+func (n *Node) lruPush(e *entry) {
+	cls := e.key.class
+	e.prev = n.lruTail[cls]
+	e.next = nil
+	if n.lruTail[cls] != nil {
+		n.lruTail[cls].next = e
+	} else {
+		n.lruHead[cls] = e
+	}
+	n.lruTail[cls] = e
+}
+
+func (n *Node) lruRemove(e *entry) {
+	cls := e.key.class
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		n.lruHead[cls] = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		n.lruTail[cls] = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (n *Node) lruTouch(e *entry) {
+	if n.lruTail[e.key.class] == e {
+		return
+	}
+	n.lruRemove(e)
+	n.lruPush(e)
+}
+
+// CheckInvariants verifies the store's accounting identities; tests call it
+// after every mutation batch. It returns nil when consistent.
+func (n *Node) CheckInvariants() error {
+	var logical, hot, comp, spill, stored int64
+	for key, e := range n.entries {
+		if key != e.key {
+			return fmt.Errorf("entry keyed %v carries key %v", key, e.key)
+		}
+		if e.shared {
+			if len(e.refs) == 0 {
+				return fmt.Errorf("shared entry %v has no refs", key)
+			}
+			maxP, cnt := 0, 0
+			for owner, v := range e.refs {
+				if v <= 0 {
+					return fmt.Errorf("entry %v holds %d pages for %s", key, v, owner)
+				}
+				logical += int64(v)
+				if v > maxP {
+					maxP, cnt = v, 1
+				} else if v == maxP {
+					cnt++
+				}
+			}
+			if maxP != e.maxPages || cnt != e.atMax {
+				return fmt.Errorf("entry %v max/atMax = %d/%d, want %d/%d", key, e.maxPages, e.atMax, maxP, cnt)
+			}
+		} else {
+			if e.pages <= 0 {
+				return fmt.Errorf("private entry %v holds %d pages", key, e.pages)
+			}
+			logical += int64(e.pages)
+		}
+		if got := e.hot + e.comp + e.spill; got != e.residentTarget() {
+			return fmt.Errorf("entry %v tiers sum to %d, want resident %d", key, got, e.residentTarget())
+		}
+		hot += int64(e.hot)
+		comp += int64(e.comp)
+		spill += int64(e.spill)
+		stored += n.compStored(e.comp)
+	}
+	if logical != n.logicalPages {
+		return fmt.Errorf("logical pages = %d, entries sum to %d", n.logicalPages, logical)
+	}
+	if hot != n.hotPages || comp != n.compPages || spill != n.spillPages {
+		return fmt.Errorf("tier totals %d/%d/%d, entries sum to %d/%d/%d",
+			n.hotPages, n.compPages, n.spillPages, hot, comp, spill)
+	}
+	if stored != n.compStoredBytes {
+		return fmt.Errorf("compressed stored bytes = %d, entries sum to %d", n.compStoredBytes, stored)
+	}
+	var ownerPages int64
+	for owner, or := range n.owners {
+		if or.pages < 0 {
+			return fmt.Errorf("owner %s holds %d pages", owner, or.pages)
+		}
+		ownerPages += or.pages
+	}
+	if ownerPages != n.logicalPages {
+		return fmt.Errorf("owner holdings sum to %d pages, node logical is %d", ownerPages, n.logicalPages)
+	}
+	if n.ResidentBytes() > n.LogicalBytes() {
+		return fmt.Errorf("resident %d exceeds logical %d", n.ResidentBytes(), n.LogicalBytes())
+	}
+	if n.cfg.DRAMBytes > 0 && n.DRAMUsedBytes() > n.cfg.DRAMBytes {
+		return fmt.Errorf("DRAM used %d exceeds capacity %d", n.DRAMUsedBytes(), n.cfg.DRAMBytes)
+	}
+	if n.cfg.SpillBytes > 0 && n.SpillUsedBytes() > n.cfg.SpillBytes {
+		return fmt.Errorf("spill used %d exceeds capacity %d", n.SpillUsedBytes(), n.cfg.SpillBytes)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

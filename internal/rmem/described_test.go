@@ -1,0 +1,211 @@
+package rmem
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/memnode"
+)
+
+const pageB = 4096
+
+// nodePool builds a pool backed by a memory node for described-path tests.
+func nodePool(node memnode.Config) *Pool {
+	return NewPool(Config{Node: &node})
+}
+
+func TestOffloadExactlyAtCapacity(t *testing.T) {
+	p := NewPool(Config{Capacity: 3 * pageB})
+	if _, err := p.OffloadBytes(0, 2*pageB); err != nil {
+		t.Fatal(err)
+	}
+	// The last page lands exactly on the boundary — must succeed.
+	if _, err := p.OffloadBytes(0, pageB); err != nil {
+		t.Fatalf("offload to exact capacity rejected: %v", err)
+	}
+	if p.Used() != 3*pageB {
+		t.Fatalf("Used = %d, want full capacity %d", p.Used(), 3*pageB)
+	}
+	// One more byte tips over.
+	if _, err := p.OffloadBytes(0, 1); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("err = %v, want ErrPoolFull", err)
+	}
+	if p.Used() != 3*pageB {
+		t.Fatalf("failed offload changed Used to %d", p.Used())
+	}
+}
+
+func TestAcceptableBytesTruncatesAtFreeSpace(t *testing.T) {
+	// Backlog budget is huge; free capacity is the binding constraint.
+	p := NewPool(Config{Capacity: 10 * pageB, MaxBacklog: time.Hour})
+	p.OffloadBytes(0, 9*pageB)
+	if got := p.AcceptableBytes(time.Hour); got != pageB {
+		t.Fatalf("budget = %d, want exact free space %d", got, pageB)
+	}
+	p.OffloadBytes(time.Hour, pageB)
+	if got := p.AcceptableBytes(2 * time.Hour); got != 0 {
+		t.Fatalf("budget at full capacity = %d, want 0", got)
+	}
+}
+
+func TestOffloadDescribedNilNodeIsAllOrNothing(t *testing.T) {
+	p := NewPool(Config{Capacity: 4 * pageB})
+	var counts ClassCounts
+	counts[memnode.ClassRuntime] = 5
+	acc, _, err := p.OffloadDescribed(0, "c0", "f", counts, pageB)
+	if !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("err = %v, want ErrPoolFull", err)
+	}
+	if acc.Total() != 0 || p.Used() != 0 {
+		t.Fatalf("failed offload accepted %d pages, used %d", acc.Total(), p.Used())
+	}
+	counts[memnode.ClassRuntime] = 4
+	acc, done, err := p.OffloadDescribed(0, "c0", "f", counts, pageB)
+	if err != nil || acc != counts {
+		t.Fatalf("fitting offload = (%v, %v), want full acceptance", acc, err)
+	}
+	if done <= 0 || p.Used() != 4*pageB {
+		t.Fatalf("done = %v, used = %d", done, p.Used())
+	}
+}
+
+func TestOffloadDescribedPartialWithNode(t *testing.T) {
+	// 8 pages of DRAM, a single page of spill, no compression: a 10-page
+	// private batch is truncated to 9.
+	p := nodePool(memnode.Config{
+		DRAMBytes:          8 * pageB,
+		SpillBytes:         pageB,
+		DisableCompression: true,
+	})
+	var counts ClassCounts
+	counts[memnode.ClassExec] = 10
+	acc, _, err := p.OffloadDescribed(0, "c0", "f", counts, pageB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc[memnode.ClassExec] != 9 {
+		t.Fatalf("accepted = %d pages, want 9", acc[memnode.ClassExec])
+	}
+	// The pool's byte ledger tracks what the compute side actually moved.
+	if p.Used() != 9*pageB {
+		t.Fatalf("Used = %d, want %d", p.Used(), 9*pageB)
+	}
+	if st := p.Node().Stats(); st.FullRejectPages != 1 {
+		t.Fatalf("FullRejectPages = %d, want 1", st.FullRejectPages)
+	}
+}
+
+func TestOffloadDescribedDedupAdmitsBeyondDRAM(t *testing.T) {
+	// 8 pages of DRAM, dedup on: two containers of the same function can
+	// both park 8 init pages — the second batch shares the resident copy.
+	p := nodePool(memnode.Config{
+		DRAMBytes:          8 * pageB,
+		SpillBytes:         pageB, // bounded, so rejection is possible
+		DisableCompression: true,
+	})
+	var counts ClassCounts
+	counts[memnode.ClassInit] = 8
+	for _, owner := range []string{"c0", "c1"} {
+		acc, _, err := p.OffloadDescribed(0, owner, "f", counts, pageB)
+		if err != nil || acc != counts {
+			t.Fatalf("owner %s: accepted %v (err %v), want full batch", owner, acc, err)
+		}
+	}
+	// Both batches crossed the wire and are logically held...
+	if p.Used() != 16*pageB {
+		t.Fatalf("Used = %d, want %d", p.Used(), 16*pageB)
+	}
+	st := p.Node().Stats()
+	if st.LogicalBytes != 16*pageB || st.ResidentBytes != 8*pageB {
+		t.Fatalf("logical/resident = %d/%d, want %d/%d",
+			st.LogicalBytes, st.ResidentBytes, 16*pageB, 8*pageB)
+	}
+	if st.DedupHitPages != 8 {
+		t.Fatalf("DedupHitPages = %d, want 8", st.DedupHitPages)
+	}
+}
+
+func TestAcceptableBytesConsultsNode(t *testing.T) {
+	// Without a node this config is an unlimited pool; with one, admission
+	// stops at the node's free space.
+	p := nodePool(memnode.Config{
+		DRAMBytes:          4 * pageB,
+		SpillBytes:         pageB,
+		DisableCompression: true,
+	})
+	if got := p.AcceptableBytes(time.Hour); got != 5*pageB {
+		t.Fatalf("idle budget = %d, want node free space %d", got, 5*pageB)
+	}
+	var counts ClassCounts
+	counts[memnode.ClassExec] = 4
+	if _, _, err := p.OffloadDescribed(0, "c0", "f", counts, pageB); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AcceptableBytes(time.Hour); got != pageB {
+		t.Fatalf("budget = %d, want remaining node space %d", got, pageB)
+	}
+}
+
+func TestFaultBatchOwnerAddsTierSurcharge(t *testing.T) {
+	spillLat := 80 * time.Microsecond
+	p := nodePool(memnode.Config{
+		DRAMBytes:          4 * pageB,
+		SpillBytes:         64 * pageB,
+		DisableCompression: true,
+		SpillLatency:       spillLat,
+	})
+	var counts ClassCounts
+	counts[memnode.ClassExec] = 10 // 4 hot + 6 spilled
+	if _, _, err := p.OffloadDescribed(0, "c0", "f", counts, pageB); err != nil {
+		t.Fatal(err)
+	}
+	stall := p.FaultBatchOwner(time.Hour, "c0", "f", counts, pageB)
+	if stall.Tier <= 0 {
+		t.Fatalf("tier surcharge = %v, want > 0 for spilled pages", stall.Tier)
+	}
+	if stall.Total < stall.Tier {
+		t.Fatalf("Total %v does not include tier %v", stall.Total, stall.Tier)
+	}
+	// 6 of 10 pages come off the spill tier.
+	want := time.Duration(float64(10) * (6.0 / 10.0) * float64(spillLat))
+	if stall.Tier != want {
+		t.Fatalf("tier = %v, want %v", stall.Tier, want)
+	}
+	// Holdings were released along with the recall.
+	if st := p.Node().Stats(); st.LogicalBytes != 0 {
+		t.Fatalf("LogicalBytes after full recall = %d, want 0", st.LogicalBytes)
+	}
+}
+
+func TestFaultBatchOwnerNilNodeHasNoTier(t *testing.T) {
+	p := NewPool(Config{})
+	p.OffloadBytes(0, 10*pageB)
+	var counts ClassCounts
+	counts[memnode.ClassRuntime] = 10
+	stall := p.FaultBatchOwner(time.Hour, "c0", "f", counts, pageB)
+	if stall.Tier != 0 {
+		t.Fatalf("nil-node tier = %v, want 0", stall.Tier)
+	}
+}
+
+func TestDiscardOwnerReleasesNodeAndLedger(t *testing.T) {
+	p := nodePool(memnode.Config{DRAMBytes: 64 * pageB, DisableCompression: true})
+	var counts ClassCounts
+	counts[memnode.ClassInit] = 4
+	counts[memnode.ClassExec] = 3
+	if _, _, err := p.OffloadDescribed(0, "c0", "f", counts, pageB); err != nil {
+		t.Fatal(err)
+	}
+	p.DiscardOwner("c0", int64(counts.Total())*pageB)
+	if p.Used() != 0 {
+		t.Fatalf("Used after discard = %d, want 0", p.Used())
+	}
+	st := p.Node().Stats()
+	if st.LogicalBytes != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("node after discard = %+v, want empty", st)
+	}
+	if err := p.Node().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

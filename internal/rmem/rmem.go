@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	// with ~1 MB/s durability-limited writes) genuinely unable to absorb
 	// offload traffic. Default 1 s.
 	MaxBacklog time.Duration
+	// Node optionally attaches a simulated pool-side memory node (dedup,
+	// compression and spill tiers, tenant quotas). When set, capacity
+	// admission consults the node's effective post-dedup/post-compression
+	// residency instead of Capacity, and the described offload/recall paths
+	// feed it page provenance. The wire/backlog model is unchanged.
+	Node *memnode.Config
 }
 
 // DefaultConfig returns the 2-node CloudLab-like setup used by the paper:
@@ -111,6 +118,7 @@ type Pool struct {
 	lastStart simtime.Time
 	lastDone  simtime.Time
 	meter     [2]*Meter // per direction
+	node      *memnode.Node
 	tr        *telemetry.Tracer
 	met       poolMetrics
 }
@@ -139,16 +147,27 @@ func (p *Pool) Instrument(tr *telemetry.Tracer, reg *telemetry.Registry) {
 		usedBytes:    reg.Gauge("faasmem_pool_used_bytes", "bytes currently stored in the remote pool"),
 		saturation:   reg.Counter("faasmem_link_saturation_events_total", "faults served while link utilization was past the saturation point"),
 	}
+	p.node.Instrument(reg)
 }
 
 // NewPool creates a pool from cfg, applying defaults for zero fields.
 func NewPool(cfg Config) *Pool {
 	c := cfg.withDefaults()
-	return &Pool{
+	p := &Pool{
 		cfg:   c,
 		meter: [2]*Meter{NewMeter(time.Second), NewMeter(time.Second)},
 	}
+	if c.Node != nil {
+		p.node = memnode.New(*c.Node)
+	}
+	return p
 }
+
+// Node returns the attached pool-side memory node, or nil.
+func (p *Pool) Node() *memnode.Node { return p.node }
+
+// AttachNode attaches a (possibly shared) memory node after construction.
+func (p *Pool) AttachNode(n *memnode.Node) { p.node = n }
 
 // Used returns bytes currently stored in the pool.
 func (p *Pool) Used() int64 { return p.used }
@@ -215,7 +234,13 @@ func (p *Pool) AcceptableBytes(now simtime.Time) int64 {
 		return 0
 	}
 	budget := int64(slack.Seconds() * float64(p.cfg.Bandwidth))
-	if p.cfg.Capacity > 0 {
+	if p.node != nil {
+		// Effective headroom: the node dedups and compresses, so it can
+		// accept more logical bytes than its raw free DRAM.
+		if free := p.node.AcceptableBytes(); free < budget {
+			budget = free
+		}
+	} else if p.cfg.Capacity > 0 {
 		if free := p.cfg.Capacity - p.used; free < budget {
 			budget = free
 		}
@@ -237,9 +262,14 @@ func (p *Pool) OffloadBytes(now simtime.Time, bytes int64) (simtime.Time, error)
 	if bytes == 0 {
 		return now, nil
 	}
-	if p.cfg.Capacity > 0 && p.used+bytes > p.cfg.Capacity {
+	if p.node == nil && p.cfg.Capacity > 0 && p.used+bytes > p.cfg.Capacity {
 		return now, ErrPoolFull
 	}
+	return p.commitOffload(now, bytes), nil
+}
+
+// commitOffload performs the wire and accounting side of an admitted offload.
+func (p *Pool) commitOffload(now simtime.Time, bytes int64) simtime.Time {
 	p.used += bytes
 	start, done := p.reserve(now, bytes)
 	p.meter[Offload].Record(now, bytes)
@@ -250,7 +280,7 @@ func (p *Pool) OffloadBytes(now simtime.Time, bytes int64) (simtime.Time, error)
 		Kind: telemetry.KindLinkTransfer, Actor: "link",
 		Value: bytes, Aux: int64(Offload),
 	})
-	return done, nil
+	return done
 }
 
 // RecallBytes moves bytes back from the pool in bulk (e.g. prefetching a
@@ -315,6 +345,9 @@ type FaultStall struct {
 	Total        time.Duration
 	Queueing     time.Duration
 	BacklogBytes int64
+	// Tier is the pool-side tier surcharge (decompression and spill reads)
+	// when a memory node is attached; it is included in Total.
+	Tier time.Duration
 }
 
 // FaultBatch performs n demand fetches of pageBytes each during one request
