@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json experiments experiments-quick examples trace-demo attrib-demo clean
+.PHONY: all build test vet bench bench-json cover fuzz-smoke experiments experiments-quick examples trace-demo attrib-demo clean
 
 all: build vet test
 
@@ -28,6 +28,26 @@ BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|Dis
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -o BENCH_2.json
 	@echo "wrote BENCH_2.json"
+
+# Total statement coverage, gated against the committed baseline floor
+# (COVERAGE_BASELINE.txt, the seed repo's coverage; CI enforces the same).
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	floor=$$(cat COVERAGE_BASELINE.txt); \
+	echo "total statement coverage: $$total% (baseline floor: $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit !(t >= f) }' || { echo "below baseline"; exit 1; }
+
+# 30s of native fuzzing per target — the same smoke CI runs. Corpus seeds
+# live under each package's testdata/fuzz/ and replay in plain `go test`.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzDifferentialOps$$'  -fuzztime=$(FUZZTIME) ./internal/mglru
+	$(GO) test -run='^$$' -fuzz='^FuzzSpaceDifferential$$' -fuzztime=$(FUZZTIME) ./internal/pagemem
+	$(GO) test -run='^$$' -fuzz='^FuzzPlan$$'              -fuzztime=$(FUZZTIME) ./internal/faultinject
+	$(GO) test -run='^$$' -fuzz='^FuzzReadAzureCSV$$'      -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzReadTraceJSON$$'     -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzReadProfiles$$'      -fuzztime=$(FUZZTIME) ./internal/workload
 
 # Regenerate every figure/table at paper scale (see EXPERIMENTS.md).
 experiments:
@@ -59,4 +79,4 @@ examples:
 	$(GO) run ./examples/attribution
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_gate.txt faasmem-trace.json faasmem-spans.json attrib_quick.txt
+	rm -rf results test_output.txt bench_output.txt bench_gate.txt coverage.out faasmem-trace.json faasmem-spans.json attrib_quick.txt

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/report"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
@@ -48,6 +49,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record simulation events and write a Chrome trace-event JSON file (load in https://ui.perfetto.dev)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity; oldest events drop beyond this")
 	attrib := flag.Bool("attrib", false, "record causal spans and print a per-phase latency attribution table after the run")
+	faultIntensity := flag.Float64("fault-intensity", 0, "arm a seed-driven fault plan at this intensity in [0, 1] (link flaps, pool crashes, tier storms, latency spikes); 0 runs fault-free")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule; defaults to -seed")
 	attribOut := flag.String("attrib-out", "", "record causal spans and write them as Chrome trace-event JSON (nested duration events; implies span recording)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -119,6 +122,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
 		os.Exit(2)
 	}
+	if *faultIntensity < 0 || *faultIntensity > 1 {
+		fmt.Fprintf(os.Stderr, "-fault-intensity %g out of range [0, 1]\n", *faultIntensity)
+		os.Exit(2)
+	}
+	if *faultSeed == 0 {
+		*faultSeed = *seed
+	}
 
 	var fn *trace.Function
 	if *azurePath != "" {
@@ -161,7 +171,7 @@ func main() {
 	if *attrib || *attribOut != "" {
 		spans = span.NewRecorder(span.DefaultCapacity)
 	}
-	out := experiments.RunScenario(experiments.Scenario{
+	sc := experiments.Scenario{
 		Profile:     prof,
 		Invocations: fn.Invocations,
 		Duration:    *duration,
@@ -171,7 +181,15 @@ func main() {
 		Seed:        *seed,
 		Telemetry:   hub,
 		Spans:       spans,
-	})
+	}
+	if *faultIntensity > 0 {
+		sc.Pool.Faults = faultinject.New(faultinject.Config{
+			Horizon:   *duration + *keepAlive,
+			Intensity: *faultIntensity,
+			Seed:      *faultSeed,
+		})
+	}
+	out := experiments.RunScenario(sc)
 
 	ok := out.Requests > 0
 	fmt.Printf("benchmark        %s (%s policy)\n", prof.Name, kind)
@@ -188,6 +206,12 @@ func main() {
 	if cs := out.CoreStats; cs != nil {
 		fmt.Printf("faasmem          runtime offloads %d, init offloads %d, rollbacks %d, semi-warm entries %d\n",
 			cs.RuntimeOffloads, cs.InitOffloads, cs.Rollbacks, cs.SemiWarmEntries)
+	}
+	if rec := out.Recovery; rec != nil {
+		fmt.Printf("fault recovery   retries %d, timeouts %d, fallback pages %d, cold re-inits %d\n",
+			rec.FetchRetries, rec.FetchTimeouts, rec.FallbackPages, rec.ColdReinits)
+		fmt.Printf("completions      normal %d, rescheduled %d, re-init %d\n",
+			rec.DoneNormal, rec.DoneRescheduled, rec.DoneReinit)
 	}
 
 	if tr := hub.Tracer; tr != nil {

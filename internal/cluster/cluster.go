@@ -74,6 +74,13 @@ type Cluster struct {
 	// enough local headroom to recall the container's remote pages — the
 	// load-imbalance rescheduling the paper's §9 leaves as future work.
 	rescheduled int
+	// submitted counts every request routed through Invoke, so resilience
+	// experiments can assert none are lost across fault recovery.
+	submitted int
+	// rescheduledFault counts requests diverted away from semi-warm
+	// containers whose remote pages were unreachable (memnode down or link
+	// flapping); those containers become eligible again on recovery.
+	rescheduledFault int
 }
 
 // New builds a rack. newPolicy is invoked once per node so policies keep
@@ -121,7 +128,14 @@ func (c *Cluster) Register(id string, prof *workload.Profile) {
 
 // Invoke routes one request for the function at the current virtual time.
 func (c *Cluster) Invoke(fnID string) {
-	c.pickNode(fnID).Invoke(fnID)
+	c.submitted++
+	n, faultResched := c.pickNode(fnID)
+	if faultResched {
+		c.rescheduledFault++
+		n.InvokeRescheduled(fnID)
+		return
+	}
+	n.Invoke(fnID)
 }
 
 // ScheduleInvocations schedules a timeline; routing happens at fire time so
@@ -145,19 +159,25 @@ func (c *Cluster) ReplayTrace(tr *trace.Trace, pick func(i int, f *trace.Functio
 	}
 }
 
-// pickNode applies the configured scheduling policy.
-func (c *Cluster) pickNode(fnID string) *faas.Platform {
+// pickNode applies the configured scheduling policy. faultResched reports
+// that the choice was diverted away from an idle container whose remote
+// pages are behind an unhealthy pool link or crashed memory node — those
+// candidates would stall in fetch retries, so the request is steered to a
+// fully-local container or a fresh launch until the pool recovers.
+func (c *Cluster) pickNode(fnID string) (n *faas.Platform, faultResched bool) {
 	switch c.cfg.Scheduler {
 	case RoundRobin:
 		n := c.nodes[c.rr%len(c.nodes)]
 		c.rr++
-		return n
+		return n, false
 	case LeastMemory:
-		return c.leastMemoryNode()
+		return c.leastMemoryNode(), false
 	default: // WarmFirst
 		var warm, strapped *faas.Platform
 		var warmIdle, strappedIdle simtime.Time
 		var footprint int64
+		faultAvoided := false
+		degraded := c.pool.Degraded(c.engine.Now())
 		for _, n := range c.nodes {
 			f := n.Function(fnID)
 			if f == nil {
@@ -166,6 +186,14 @@ func (c *Cluster) pickNode(fnID string) *faas.Platform {
 			footprint = f.Profile().TotalBytes()
 			ic := f.IdleContainer()
 			if ic == nil {
+				continue
+			}
+			// While the pool is unreachable, a semi-warm candidate's remote
+			// pages cannot be recalled; skip it rather than stall the
+			// request in fetch retries. It rejoins the pool of candidates
+			// as soon as the fault window closes.
+			if degraded && ic.Space().RemoteBytes() > 0 {
+				faultAvoided = true
 				continue
 			}
 			// §9 future work: a semi-warm container needs its remote pages
@@ -187,7 +215,7 @@ func (c *Cluster) pickNode(fnID string) *faas.Platform {
 			}
 		}
 		if warm != nil {
-			return warm
+			return warm, faultAvoided
 		}
 		if strapped != nil {
 			// Reschedule only when another node can host a fresh container
@@ -198,12 +226,12 @@ func (c *Cluster) pickNode(fnID string) *faas.Platform {
 				if limit := alt.Config().NodeMemoryLimit; limit <= 0 ||
 					alt.NodeLocalBytes()+footprint <= limit {
 					c.rescheduled++
-					return alt
+					return alt, faultAvoided
 				}
 			}
-			return strapped
+			return strapped, faultAvoided
 		}
-		return c.leastMemoryNode()
+		return c.leastMemoryNode(), faultAvoided
 	}
 }
 
@@ -233,6 +261,15 @@ type Stats struct {
 	LiveContainers int
 	// Rescheduled counts reuses redirected off memory-strapped nodes.
 	Rescheduled int
+	// Submitted counts requests routed through Invoke; after a full drain
+	// every one is accounted for in the nodes' completion classes.
+	Submitted int
+	// RescheduledFault counts requests diverted away from semi-warm
+	// containers stranded behind an unhealthy pool.
+	RescheduledFault int
+	// Recovery aggregates the nodes' fault-recovery counters (retries,
+	// timeouts, fallbacks, re-inits, completion classes).
+	Recovery faas.RecoveryStats
 	// MemNode snapshots the shared pool-side memory node (dedup, tiers,
 	// quotas) when one is attached; nil otherwise.
 	MemNode *memnode.Stats
@@ -254,8 +291,11 @@ func (c *Cluster) Stats() Stats {
 			s.PeakNodeLocalMB = peak
 		}
 		s.LiveContainers += n.LiveContainers()
+		s.Recovery.Add(n.Recovery())
 	}
 	s.Rescheduled = c.rescheduled
+	s.Submitted = c.submitted
+	s.RescheduledFault = c.rescheduledFault
 	s.PoolUsedMB = float64(c.pool.Used()) / 1e6
 	s.OffloadBWMBps = c.pool.Meter(rmem.Offload).Average(now) / 1e6
 	if mn := c.pool.Node(); mn != nil {

@@ -103,6 +103,10 @@ type Outcome struct {
 	LiveAvg float64
 	// CoreStats is non-nil for FaaSMem runs.
 	CoreStats *core.Stats
+	// Recovery is non-nil when the scenario ran under a fault plan: the
+	// node's fault-recovery counters (retries, timeouts, fallbacks,
+	// re-inits, completion classes).
+	Recovery *faas.RecoveryStats
 }
 
 // PolicyKinds lists every comparable policy in presentation order.
@@ -214,6 +218,10 @@ func RunScenario(sc Scenario) Outcome {
 	}
 	if fm != nil {
 		out.CoreStats = fm.Stats()
+	}
+	if p.Pool().FaultsPlanned() {
+		rec := p.Recovery()
+		out.Recovery = &rec
 	}
 	return out
 }

@@ -34,15 +34,25 @@ func gridScenarios(t *testing.T) []Scenario {
 // exercises the pool for data races.
 func TestRunScenariosDeterministicAcrossWidths(t *testing.T) {
 	scs := gridScenarios(t)
-	defer SetWorkers(0)
+	if w := DivergentWidth([]int{1, 2, 4, 8}, func() any {
+		return RunScenarios(scs)
+	}); w != -1 {
+		t.Fatalf("outcomes differ between workers=1 and workers=%d", w)
+	}
+}
 
-	SetWorkers(1)
-	serial := RunScenarios(scs)
-	for _, w := range []int{2, 4, 8} {
-		SetWorkers(w)
-		got := RunScenarios(scs)
-		if !reflect.DeepEqual(serial, got) {
-			t.Fatalf("outcomes differ between workers=1 and workers=%d", w)
+// TestRunScenariosOrderInvariant is the metamorphic half of the contract:
+// enumerating the same grid in a shuffled order yields bit-identical
+// outcomes once mapped back to input order. Run at width > 1 so permutation
+// also reshuffles which worker gets which scenario.
+func TestRunScenariosOrderInvariant(t *testing.T) {
+	scs := gridScenarios(t)
+	defer SetWorkers(0)
+	SetWorkers(4)
+	want := RunScenarios(scs)
+	for _, seed := range []int64{1, 42} {
+		if got := PermuteScenarios(scs, seed); !reflect.DeepEqual(want, got) {
+			t.Fatalf("outcomes depend on scenario enumeration order (perm seed %d)", seed)
 		}
 	}
 }

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/cluster"
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/fastswap"
+	"github.com/faasmem/faasmem/internal/faultinject"
+	"github.com/faasmem/faasmem/internal/memnode"
+	"github.com/faasmem/faasmem/internal/metrics"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// ResilienceRow is one fault-intensity cell of the ext-resilience sweep.
+type ResilienceRow struct {
+	// Intensity scales every fault window's duration and severity; 0 is the
+	// fault-free baseline (no plan attached at all).
+	Intensity float64 `json:"intensity"`
+	// UnhealthyPct is the share of the run the remote path was unusable
+	// (link flap or pool-node crash), from the generated plan.
+	UnhealthyPct float64 `json:"unhealthy_pct"`
+	// Submitted counts requests routed into the rack; after the drain every
+	// one lands in exactly one completion class below.
+	Submitted int `json:"submitted"`
+	// Completed are requests that finished without fault recovery.
+	Completed int `json:"completed"`
+	// Rescheduled are requests diverted away from containers stranded
+	// behind the unhealthy pool, then completed elsewhere.
+	Rescheduled int `json:"rescheduled"`
+	// Failed are requests whose page fetch timed out; they completed only
+	// through recovery (local-swap fallback or a cold re-init).
+	Failed int `json:"failed"`
+	// ColdStartRatio and P99Sec are the headline degradation metrics.
+	ColdStartRatio float64 `json:"cold_start_ratio"`
+	P99Sec         float64 `json:"p99_sec"`
+	// Recovery-machinery activity.
+	FetchRetries  int64 `json:"fetch_retries"`
+	FetchTimeouts int64 `json:"fetch_timeouts"`
+	FallbackPages int64 `json:"fallback_pages"`
+	ColdReinits   int   `json:"cold_reinits"`
+	// RescheduledFault counts scheduler diversions (≥ Rescheduled: a
+	// diverted request may still end in the re-init class).
+	RescheduledFault int `json:"rescheduled_fault"`
+}
+
+// ResilienceOptions sizes the ext-resilience sweep.
+type ResilienceOptions struct {
+	// Intensities are the fault-plan intensities swept.
+	// Default {0, 0.25, 0.5, 1}.
+	Intensities []float64
+	// Nodes is the rack's compute-node count. Default 3.
+	Nodes int
+	// Duration of the generated trace. Default 12 m.
+	Duration time.Duration
+	// KeepAlive of idle containers. Default 10 m.
+	KeepAlive time.Duration
+	// Fallback enables the local-swap fallback path (dual-backend swap):
+	// fetch timeouts are served from the local copy instead of forcing a
+	// cold re-init.
+	Fallback bool
+	// Seed drives the workload; FaultSeed drives the fault plan.
+	Seed, FaultSeed int64
+}
+
+// Resilience measures how the rack degrades as injected faults intensify:
+// the mixed workload runs against the same pool under fault plans of
+// increasing intensity (each plan's windows contain the weaker plan's, so
+// the exposure is strictly nested), and each row reports tail latency, the
+// cold-start ratio, and where the recovery machinery routed the affected
+// requests. Request conservation — completed + rescheduled + failed ==
+// submitted — holds on every row by construction.
+func Resilience(opt ResilienceOptions) []ResilienceRow {
+	if len(opt.Intensities) == 0 {
+		opt.Intensities = []float64{0, 0.25, 0.5, 1}
+	}
+	if opt.Nodes <= 0 {
+		opt.Nodes = 3
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 12 * time.Minute
+	}
+	if opt.KeepAlive <= 0 {
+		opt.KeepAlive = 10 * time.Minute
+	}
+	horizon := opt.Duration + opt.KeepAlive + time.Minute
+
+	run := func(intensity float64) ResilienceRow {
+		plan := faultinject.New(faultinject.Config{
+			Horizon:   horizon,
+			Intensity: intensity,
+			Seed:      opt.FaultSeed,
+		})
+		nodeCfg := memnode.Config{DRAMBytes: 512 << 20, SpillBytes: 512 << 20}
+		swapCfg := fastswap.Config{}
+		if opt.Fallback {
+			swapCfg.FallbackReadLatency = 50 * time.Microsecond
+		}
+		e := simtime.NewEngine()
+		c := cluster.New(e, cluster.Config{
+			Nodes: opt.Nodes,
+			Node: faas.Config{
+				KeepAliveTimeout: opt.KeepAlive,
+				Seed:             opt.Seed,
+				Swap:             swapCfg,
+				RequestLogSize:   1 << 16,
+			},
+			Pool: rmem.Config{Node: &nodeCfg, Faults: plan},
+		}, func() policy.Policy { return core.New(core.Config{}) })
+		for i, prof := range workload.Profiles() {
+			p := *prof
+			fn := trace.GenerateFunction(p.Name, opt.Duration,
+				time.Duration(3+i)*time.Second, true, opt.Seed+int64(i))
+			if len(fn.Invocations) == 0 {
+				continue
+			}
+			c.Register(p.Name, &p)
+			c.ScheduleInvocations(p.Name, fn.Invocations)
+		}
+		e.RunUntil(horizon)
+
+		st := c.Stats()
+		row := ResilienceRow{
+			Intensity:        intensity,
+			UnhealthyPct:     plan.UnhealthyFraction(horizon) * 100,
+			Submitted:        st.Submitted,
+			Completed:        st.Recovery.DoneNormal,
+			Rescheduled:      st.Recovery.DoneRescheduled,
+			Failed:           st.Recovery.DoneReinit,
+			FetchRetries:     st.Recovery.FetchRetries,
+			FetchTimeouts:    st.Recovery.FetchTimeouts,
+			FallbackPages:    st.Recovery.FallbackPages,
+			ColdReinits:      st.Recovery.ColdReinits,
+			RescheduledFault: st.RescheduledFault,
+		}
+		if st.Requests > 0 {
+			row.ColdStartRatio = float64(st.ColdStarts) / float64(st.Requests)
+		}
+		var lat metrics.Sampler
+		for _, n := range c.Nodes() {
+			for _, rec := range n.RequestLog().Records() {
+				lat.AddDuration(rec.Latency)
+			}
+		}
+		row.P99Sec = lat.P99()
+		return row
+	}
+
+	rows := make([]ResilienceRow, len(opt.Intensities))
+	runGrid(len(rows), func(i int) { rows[i] = run(opt.Intensities[i]) })
+	return rows
+}
+
+// PrintResilience renders the sweep.
+func PrintResilience(w io.Writer, rows []ResilienceRow) {
+	fmt.Fprintln(w, "Extension: fault injection — rack degradation vs fault intensity")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			fmt.Sprintf("%.2f", r.Intensity),
+			fmt.Sprintf("%.1f%%", r.UnhealthyPct),
+			fmt.Sprintf("%d", r.Submitted),
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Rescheduled),
+			fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%.2f%%", r.ColdStartRatio*100),
+			fmt.Sprintf("%.3fs", r.P99Sec),
+			fmt.Sprintf("%d", r.FetchRetries),
+			fmt.Sprintf("%d", r.FetchTimeouts),
+			fmt.Sprintf("%d", r.ColdReinits),
+			fmt.Sprintf("%d", r.FallbackPages),
+		}
+	}
+	writeTable(w, []string{
+		"intensity", "unhealthy", "submitted", "completed", "rescheduled",
+		"failed", "cold-start", "P99", "retries", "timeouts", "re-inits",
+		"fallback pages",
+	}, table)
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/faultinject"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+func shortResilienceOpts() ResilienceOptions {
+	return ResilienceOptions{
+		Intensities: []float64{0, 0.5, 1},
+		Duration:    4 * time.Minute,
+		KeepAlive:   4 * time.Minute,
+		Seed:        11,
+		FaultSeed:   7,
+	}
+}
+
+// TestResilienceDeterministicAcrossWidths pins the acceptance criterion that
+// ext-resilience rows are bit-identical at any scenario fan-out width.
+func TestResilienceDeterministicAcrossWidths(t *testing.T) {
+	opt := shortResilienceOpts()
+	if w := DivergentWidth([]int{1, 3}, func() any {
+		return Resilience(opt)
+	}); w != -1 {
+		t.Fatalf("resilience rows differ between workers=1 and workers=%d", w)
+	}
+}
+
+// TestResilienceConservationAndMonotonicity checks the sweep's two structural
+// properties: no request is ever lost (completed + rescheduled + failed ==
+// submitted on every row), and degradation is monotone in intensity — higher
+// intensity means nested-superset fault windows, so the cold-start ratio and
+// P99 may not improve.
+func TestResilienceConservationAndMonotonicity(t *testing.T) {
+	rows := Resilience(shortResilienceOpts())
+	for _, r := range rows {
+		if got := r.Completed + r.Rescheduled + r.Failed; got != r.Submitted {
+			t.Errorf("intensity %.2f: completed %d + rescheduled %d + failed %d = %d, want submitted %d",
+				r.Intensity, r.Completed, r.Rescheduled, r.Failed, got, r.Submitted)
+		}
+	}
+	if rows[0].Intensity != 0 {
+		t.Fatalf("first row intensity = %v, want the fault-free baseline 0", rows[0].Intensity)
+	}
+	base := rows[0]
+	if base.FetchRetries != 0 || base.FetchTimeouts != 0 || base.ColdReinits != 0 ||
+		base.Rescheduled != 0 || base.Failed != 0 {
+		t.Errorf("fault-free baseline shows recovery activity: %+v", base)
+	}
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		if cur.UnhealthyPct < prev.UnhealthyPct {
+			t.Errorf("unhealthy%% not monotone: %.2f%% at %.2f, %.2f%% at %.2f",
+				prev.UnhealthyPct, prev.Intensity, cur.UnhealthyPct, cur.Intensity)
+		}
+		if cur.ColdStartRatio < prev.ColdStartRatio {
+			t.Errorf("cold-start ratio not monotone: %.4f at %.2f, %.4f at %.2f",
+				prev.ColdStartRatio, prev.Intensity, cur.ColdStartRatio, cur.Intensity)
+		}
+		if cur.P99Sec < prev.P99Sec {
+			t.Errorf("P99 not monotone: %.3fs at %.2f, %.3fs at %.2f",
+				prev.P99Sec, prev.Intensity, cur.P99Sec, cur.Intensity)
+		}
+	}
+	if last := rows[len(rows)-1]; last.FetchRetries == 0 {
+		t.Errorf("full-intensity row exercised no retries: %+v", last)
+	}
+}
+
+// zeroCostPlan builds a non-empty fault plan whose windows all lie beyond
+// the horizon: the fault machinery is armed (Pool.FaultsPlanned() is true,
+// so requests run through executeFaulty/FetchRetry) but no window is ever
+// active during the run.
+func zeroCostPlan(horizon time.Duration) *faultinject.Plan {
+	far := simtime.Time(horizon) + simtime.Time(time.Hour)
+	return faultinject.FromWindows([]faultinject.Window{
+		{Kind: faultinject.LinkFlap, Start: far, End: far + simtime.Time(time.Minute)},
+		{Kind: faultinject.LatencySpike, Start: far, End: far + simtime.Time(time.Minute), Factor: 3},
+	})
+}
+
+// TestFaultPlanZeroCostWhenOff pins the zero-cost-when-off contract at the
+// platform level: a run under an armed-but-never-active fault plan produces
+// a request log and aggregate stats bit-identical to the plan-free run.
+// This is the strongest check on the pre-count/replay design — the faulty
+// request path must reproduce the fault-free path exactly whenever the plan
+// is quiet, including runs with real remote page faults.
+func TestFaultPlanZeroCostWhenOff(t *testing.T) {
+	const keepAlive = 8 * time.Minute
+	duration := 20 * time.Minute
+	horizon := duration + keepAlive
+
+	run := func(plan *faultinject.Plan) (faas.AggregateStats, []faas.RequestRecord, faas.RecoveryStats) {
+		e := simtime.NewEngine()
+		p := faas.New(e, faas.Config{
+			KeepAliveTimeout: keepAlive,
+			Seed:             11,
+			Pool:             rmem.Config{Faults: plan},
+			RequestLogSize:   1 << 14,
+		}, core.New(core.Config{}))
+		prof := workload.ByName("json")
+		p.Register(prof.Name, prof)
+		p.ScheduleInvocations(prof.Name, LowLoadInvocations(duration, 11))
+		e.RunUntil(horizon)
+		return p.Aggregate(), p.RequestLog().Records(), p.Recovery()
+	}
+
+	wantAgg, wantLog, wantRec := run(nil)
+	gotAgg, gotLog, gotRec := run(zeroCostPlan(horizon))
+
+	if wantAgg.FaultPages == 0 {
+		t.Fatalf("workload produced no remote faults; the parity check is vacuous: %+v", wantAgg)
+	}
+	if !reflect.DeepEqual(wantAgg, gotAgg) {
+		t.Errorf("aggregate stats diverge under a quiet fault plan:\n  off: %+v\n  on:  %+v", wantAgg, gotAgg)
+	}
+	if !reflect.DeepEqual(wantLog, gotLog) {
+		t.Errorf("request logs diverge under a quiet fault plan (%d vs %d records)", len(wantLog), len(gotLog))
+		for i := range wantLog {
+			if i < len(gotLog) && !reflect.DeepEqual(wantLog[i], gotLog[i]) {
+				t.Errorf("first divergent record %d:\n  off: %+v\n  on:  %+v", i, wantLog[i], gotLog[i])
+				break
+			}
+		}
+	}
+	if (wantRec != faas.RecoveryStats{DoneNormal: wantRec.DoneNormal}) {
+		t.Errorf("plan-free run shows recovery activity: %+v", wantRec)
+	}
+	if !reflect.DeepEqual(wantRec, gotRec) {
+		t.Errorf("recovery stats diverge under a quiet fault plan:\n  off: %+v\n  on:  %+v", wantRec, gotRec)
+	}
+}
+
+// TestRunScenarioRecoveryField checks RunScenario populates Outcome.Recovery
+// exactly when a fault plan is armed.
+func TestRunScenarioRecoveryField(t *testing.T) {
+	sc := Scenario{
+		Profile:     workload.ByName("json"),
+		Invocations: LowLoadInvocations(5*time.Minute, 3),
+		Duration:    5 * time.Minute,
+		KeepAlive:   2 * time.Minute,
+		Policy:      FaaSMem,
+		Seed:        3,
+	}
+	if out := RunScenario(sc); out.Recovery != nil {
+		t.Errorf("Recovery non-nil without a fault plan: %+v", out.Recovery)
+	}
+	sc.Pool.Faults = zeroCostPlan(sc.Duration + sc.KeepAlive)
+	out := RunScenario(sc)
+	if out.Recovery == nil {
+		t.Fatal("Recovery nil with a fault plan armed")
+	}
+	if out.Recovery.DoneNormal != out.Requests {
+		t.Errorf("quiet plan: DoneNormal = %d, want every request (%d)",
+			out.Recovery.DoneNormal, out.Requests)
+	}
+}

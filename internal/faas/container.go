@@ -48,11 +48,19 @@ type Container struct {
 	// the link-congestion share and the bulk bytes queued when faulting.
 	curQueueing     time.Duration
 	curBacklogBytes int64
-	idleSince       simtime.Time
-	launched        simtime.Time
-	loadedAt        simtime.Time // when the runtime finished loading
-	recycleEv       *simtime.Event
-	dead            bool
+	// curRetryWait and curFallbackLat decompose recovery time inside
+	// curStall: backoff spent retrying fetches, and local-swap read time
+	// after a timeout. curResched marks a cluster-redirected request;
+	// curReinit marks one replayed through a cold re-init.
+	curRetryWait   time.Duration
+	curFallbackLat time.Duration
+	curResched     bool
+	curReinit      bool
+	idleSince      simtime.Time
+	launched       simtime.Time
+	loadedAt       simtime.Time // when the runtime finished loading
+	recycleEv      *simtime.Event
+	dead           bool
 }
 
 // launch creates a container; memory arrives as lifecycle stages complete.
@@ -149,6 +157,13 @@ func (c *Container) wake() {
 // entered the system (before any cold-start work), so recorded end-to-end
 // latency includes cold-start time.
 func (c *Container) execute(arrival simtime.Time) {
+	if c.p.pool.FaultsPlanned() {
+		// The fault-injected path pre-counts the remote set and routes the
+		// fetch through the retry/recovery machinery. It is a separate
+		// function so this fault-free path stays byte-for-byte unchanged.
+		c.executeFaulty(arrival)
+		return
+	}
 	e := c.p.engine
 	now := e.Now()
 	c.started = now
@@ -284,6 +299,16 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 
 	c.requests++
 	c.fn.stats.Requests++
+	// Completion classification, precedence reinit > rescheduled > normal: a
+	// rescheduled request that then needed a re-init counts once, as re-init.
+	switch {
+	case c.curReinit:
+		c.fn.stats.DoneReinit++
+	case c.curResched:
+		c.fn.stats.DoneRescheduled++
+	default:
+		c.fn.stats.DoneNormal++
+	}
 	c.p.met.requests.Inc()
 	c.p.tel.Tracer.Record(telemetry.Event{
 		At: c.started, Dur: time.Duration(now - c.started),
@@ -307,6 +332,10 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 	if c.p.spans.Enabled() {
 		c.p.spans.Record(c.buildInvocation(arrival, now))
 	}
+	// Recovery attribution is per-request; clear it before any queued
+	// follow-on request reuses this container.
+	c.curReinit, c.curResched = false, false
+	c.curRetryWait, c.curFallbackLat = 0, 0
 
 	c.pol.RequestEnd(e)
 
@@ -351,6 +380,16 @@ func (c *Container) buildInvocation(arrival, now simtime.Time) span.Invocation {
 	}
 	switch c.curKind {
 	case ColdStart:
+		if c.curReinit && c.curRetryWait > 0 {
+			// A cold re-init replay: the backoff burned before the relaunch
+			// precedes the launch span (the fresh container has no remote
+			// pages, so no stall span exists to nest it under).
+			root.Children = append(root.Children, span.Span{
+				Phase: span.PhaseRetry,
+				Start: c.launched - simtime.Time(c.curRetryWait),
+				Dur:   c.curRetryWait,
+			})
+		}
 		root.Children = append(root.Children,
 			span.Span{
 				Phase: span.PhaseLaunch, Start: c.launched,
@@ -380,6 +419,21 @@ func (c *Container) buildInvocation(arrival, now simtime.Time) span.Invocation {
 		stall := span.Span{
 			Phase: phase, Start: c.started, Dur: c.curStall,
 			Pages: int64(c.curFaults + c.curRA),
+		}
+		if c.curRetryWait > 0 && c.curRetryWait <= c.curStall {
+			// Retry backoff leads the stall: the fetch only issued (or the
+			// fallback only engaged) once the wait was over.
+			stall.Children = append(stall.Children, span.Span{
+				Phase: span.PhaseRetry, Start: c.started, Dur: c.curRetryWait,
+			})
+		}
+		if c.curFallbackLat > 0 {
+			stall.Children = append(stall.Children, span.Span{
+				Phase: span.PhaseFallback,
+				Start: c.started + simtime.Time(c.curRetryWait),
+				Dur:   c.curFallbackLat,
+				Pages: int64(c.curFaults + c.curRA),
+			})
 		}
 		if c.curQueueing > 0 {
 			// Congestion delay surfaces after the pipelined fetches issue.

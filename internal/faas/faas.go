@@ -79,6 +79,12 @@ type Config struct {
 	// record their background link work through View.Spans. Nil disables
 	// span recording; the disabled path is allocation-free.
 	Spans *span.Recorder
+	// FetchTimeout bounds how long one request's page fetch may sit in
+	// backoff retries against an unhealthy pool link before giving up and
+	// recovering (local-swap fallback when the swap device keeps a
+	// write-through copy, cold re-init otherwise). Only exercised when the
+	// pool has a fault plan injected. Default 500 ms.
+	FetchTimeout time.Duration
 	// Seed drives all stochastic workload behaviour deterministically.
 	Seed int64
 	// NodeID names this compute node in pool-side (memnode) accounting.
@@ -97,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdaptiveKeepAliveMin <= 0 {
 		c.AdaptiveKeepAliveMin = 15 * time.Second
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 500 * time.Millisecond
 	}
 	return c
 }
@@ -165,6 +174,23 @@ type FunctionStats struct {
 	RuntimeFaultPages int64
 	// InitFaultPages counts faults on init-segment pages.
 	InitFaultPages int64
+	// FetchRetries counts page-fetch attempts retried with backoff against
+	// an unhealthy pool (fault injection only).
+	FetchRetries int64
+	// FetchTimeouts counts requests whose page fetch exhausted its retry
+	// budget or FetchTimeout.
+	FetchTimeouts int64
+	// FallbackPages counts pages served from the local swap copy after a
+	// fetch timeout.
+	FallbackPages int64
+	// ColdReinits counts containers discarded and cold re-initialized
+	// because their remote pages stayed unreachable past the timeout.
+	ColdReinits int
+	// DoneNormal, DoneRescheduled and DoneReinit classify completed
+	// requests by recovery path: untouched by faults, routed away from a
+	// degraded node by the cluster, or replayed through a cold re-init.
+	// They always sum to Requests.
+	DoneNormal, DoneRescheduled, DoneReinit int
 	// ReusedIntervals collects idle durations at reuse (semi-warm inputs).
 	ReusedIntervals []time.Duration
 }
@@ -309,7 +335,18 @@ func (p *Platform) Invoke(fnID string) {
 	if f == nil {
 		panic("faas: invoke of unregistered function " + fnID)
 	}
-	p.dispatch(f, p.engine.Now())
+	p.dispatch(f, p.engine.Now(), false)
+}
+
+// InvokeRescheduled is Invoke for a request the cluster routed away from a
+// fault-degraded node; its completion is counted separately so resilience
+// experiments can prove no invocation was silently lost.
+func (p *Platform) InvokeRescheduled(fnID string) {
+	f := p.fns[fnID]
+	if f == nil {
+		panic("faas: invoke of unregistered function " + fnID)
+	}
+	p.dispatch(f, p.engine.Now(), true)
 }
 
 // ScheduleInvocations schedules a whole invocation timeline for a function.
@@ -320,7 +357,7 @@ func (p *Platform) ScheduleInvocations(fnID string, times []simtime.Time) {
 	}
 	for _, at := range times {
 		at := at
-		p.engine.At(at, func(*simtime.Engine) { p.dispatch(f, at) })
+		p.engine.At(at, func(*simtime.Engine) { p.dispatch(f, at, false) })
 	}
 }
 
@@ -340,8 +377,9 @@ func (p *Platform) ReplayTrace(tr *trace.Trace, pick func(i int, f *trace.Functi
 }
 
 // dispatch routes one request: reuse the most recently idled container, or
-// cold-start a new one.
-func (p *Platform) dispatch(f *Function, arrival simtime.Time) {
+// cold-start a new one. resched marks a request the cluster redirected away
+// from a fault-degraded node.
+func (p *Platform) dispatch(f *Function, arrival simtime.Time, resched bool) {
 	now := p.engine.Now()
 	if n := len(f.idle); n > 0 {
 		c := f.idle[n-1]
@@ -357,6 +395,7 @@ func (p *Platform) dispatch(f *Function, arrival simtime.Time) {
 			c.curKind = WarmStart
 			p.met.warmStarts.Inc()
 		}
+		c.curResched = resched
 		c.wake()
 		c.execute(arrival)
 		return
@@ -375,6 +414,7 @@ func (p *Platform) dispatch(f *Function, arrival simtime.Time) {
 	p.met.coldStarts.Inc()
 	c := p.launch(f)
 	c.curKind = ColdStart
+	c.curResched = resched
 	// Cold start: the runtime loads, then the function initializes, then the
 	// pending request executes.
 	p.engine.After(f.profile.LaunchTime, func(e *simtime.Engine) {
@@ -490,6 +530,51 @@ func (a AggregateStats) ColdStartRatio() float64 {
 		return 0
 	}
 	return float64(a.ColdStarts) / float64(a.Requests)
+}
+
+// RecoveryStats aggregates the fault-recovery machinery's outcomes across
+// the node. All fields are zero on a run without an injected fault plan.
+type RecoveryStats struct {
+	// FetchRetries counts backoff retries of failed page fetches.
+	FetchRetries int64 `json:"fetch_retries"`
+	// FetchTimeouts counts fetches abandoned after retries/timeout.
+	FetchTimeouts int64 `json:"fetch_timeouts"`
+	// FallbackPages counts pages served from the local swap copy.
+	FallbackPages int64 `json:"fallback_pages"`
+	// ColdReinits counts containers cold re-initialized after a timeout.
+	ColdReinits int `json:"cold_reinits"`
+	// DoneNormal/DoneRescheduled/DoneReinit classify completed requests by
+	// recovery path; they sum to the node's completed request count.
+	DoneNormal      int `json:"done_normal"`
+	DoneRescheduled int `json:"done_rescheduled"`
+	DoneReinit      int `json:"done_reinit"`
+}
+
+// Add accumulates other into r (cluster-level summing).
+func (r *RecoveryStats) Add(other RecoveryStats) {
+	r.FetchRetries += other.FetchRetries
+	r.FetchTimeouts += other.FetchTimeouts
+	r.FallbackPages += other.FallbackPages
+	r.ColdReinits += other.ColdReinits
+	r.DoneNormal += other.DoneNormal
+	r.DoneRescheduled += other.DoneRescheduled
+	r.DoneReinit += other.DoneReinit
+}
+
+// Recovery sums the fault-recovery statistics across every function.
+func (p *Platform) Recovery() RecoveryStats {
+	var r RecoveryStats
+	for _, f := range p.Functions() {
+		st := f.Stats()
+		r.FetchRetries += st.FetchRetries
+		r.FetchTimeouts += st.FetchTimeouts
+		r.FallbackPages += st.FallbackPages
+		r.ColdReinits += st.ColdReinits
+		r.DoneNormal += st.DoneNormal
+		r.DoneRescheduled += st.DoneRescheduled
+		r.DoneReinit += st.DoneReinit
+	}
+	return r
 }
 
 // Aggregate sums per-function statistics across the node.

@@ -1,9 +1,11 @@
 package faas
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
+	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
@@ -65,5 +67,111 @@ func TestMemNodeLedgerInvariants(t *testing.T) {
 	}
 	if err := node.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMemNodeLedgerInvariantsRandomized is the stress sibling of
+// TestMemNodeLedgerInvariants: random invocation interleavings over several
+// seeds, tight tier sizes, tenant quota boundaries, and injected fault plans
+// (outages, tier storms, retry/timeout/re-init recovery all interleave with
+// offloads, faults, discards and evictions). Every virtual second the node's
+// internal invariants must hold and the pool ledger must equal the node's
+// logical bytes; after the drain the node must be empty.
+func TestMemNodeLedgerInvariantsRandomized(t *testing.T) {
+	var offloaded, faulted, quotaRejects, recovered int64
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodeCfg := memnode.Config{
+			DRAMBytes:          1 * workload.MB,
+			SpillBytes:         int64(2+rng.Intn(7)) * workload.MB,
+			DisableDedup:       rng.Intn(3) == 0,
+			DisableCompression: rng.Intn(3) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			// Quota boundary: one tenant's footprint crosses the cap.
+			nodeCfg.TenantQuotaBytes = int64(1+rng.Intn(2)) * workload.MB / 2
+		}
+		var plan *faultinject.Plan
+		if seed != 1 {
+			// Seed 1 stays fault-free as the interleaving-only control. The
+			// default cadences (75–300s between windows) would leave a
+			// 1-minute run mostly quiet, so compress them to guarantee
+			// outages overlap the invocation burst.
+			fcfg := faultinject.Config{
+				Horizon:   time.Minute,
+				Intensity: 0.6 + 0.4*rng.Float64(),
+				Seed:      seed,
+			}
+			for k := faultinject.LinkFlap; k <= faultinject.LatencySpike; k++ {
+				fcfg.Cadence[k] = time.Duration(6+rng.Intn(8)) * time.Second
+				fcfg.BaseDur[k] = time.Duration(2+rng.Intn(3)) * time.Second
+			}
+			plan = faultinject.New(fcfg)
+		}
+		e := simtime.NewEngine()
+		p := New(e, Config{
+			KeepAliveTimeout: time.Duration(3+rng.Intn(5)) * time.Second,
+			NodeID:           "n0",
+			Pool:             rmem.Config{Node: &nodeCfg, Faults: plan},
+			Seed:             seed,
+		}, offloadAllPolicy{})
+		for _, name := range []string{"fa", "fb"} {
+			prof := *tinyProfile()
+			prof.Name = name
+			p.Register(name, &prof)
+			var times []simtime.Time
+			for i, n := 0, 8+rng.Intn(12); i < n; i++ {
+				times = append(times, simtime.Time(rng.Int63n(int64(25*time.Second))))
+			}
+			p.ScheduleInvocations(name, times)
+		}
+		for i := 1; i <= 45; i++ {
+			e.At(simtime.Time(i)*simtime.Time(time.Second), func(_ *simtime.Engine) {
+				node := p.Pool().Node()
+				if err := node.CheckInvariants(); err != nil {
+					t.Fatalf("seed %d t=%ds: %v", seed, i, err)
+				}
+				if got, want := p.Pool().Used(), node.Stats().LogicalBytes; got != want {
+					t.Fatalf("seed %d t=%ds: pool ledger %d != node logical %d", seed, i, got, want)
+				}
+			})
+		}
+		e.Run()
+
+		node := p.Pool().Node()
+		st := node.Stats()
+		if err := node.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d after drain: %v", seed, err)
+		}
+		if st.LogicalBytes != 0 || st.ResidentBytes != 0 {
+			t.Fatalf("seed %d: node not drained after recycle: %+v", seed, st)
+		}
+		if got, want := p.Pool().Used(), int64(0); got != want {
+			t.Fatalf("seed %d: pool ledger %d after drain, want 0", seed, got)
+		}
+		agg := p.Aggregate()
+		rec := p.Recovery()
+		if total := rec.DoneNormal + rec.DoneRescheduled + rec.DoneReinit; total != agg.Requests {
+			t.Fatalf("seed %d: completion classes %d != requests %d", seed, total, agg.Requests)
+		}
+		offloaded += st.PeakLogicalBytes
+		faulted += agg.FaultPages
+		quotaRejects += st.QuotaRejectPages
+		recovered += rec.FetchRetries + int64(rec.ColdReinits)
+	}
+	// The seeds must collectively exercise the paths under test; these are
+	// deterministic, so failures here mean the generator went quiet, not
+	// flakiness.
+	if offloaded == 0 {
+		t.Error("no seed ever offloaded to the node")
+	}
+	if faulted == 0 {
+		t.Error("no seed ever faulted pages back")
+	}
+	if quotaRejects == 0 {
+		t.Error("no seed ever hit the tenant quota boundary")
+	}
+	if recovered == 0 {
+		t.Error("no seed ever exercised the fetch-retry/re-init machinery")
 	}
 }

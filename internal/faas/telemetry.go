@@ -18,6 +18,8 @@ type platformMetrics struct {
 	evictions      *telemetry.Metric
 	faultPages     *telemetry.Metric
 	readaheadPages *telemetry.Metric
+	coldReinits    *telemetry.Metric
+	fallbackPages  *telemetry.Metric
 	// offloadedPages is indexed by telemetry.Stage: pages moved to the pool
 	// per lifecycle segment — the per-stage visibility Figs. 8–9 need.
 	offloadedPages [4]*telemetry.Metric
@@ -38,6 +40,8 @@ func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
 		evictions:      reg.Counter("faasmem_containers_evicted_total", "idle containers evicted by the node memory limit"),
 		faultPages:     reg.Counter("faasmem_fault_pages_total", "remote pages demand-faulted on request critical paths"),
 		readaheadPages: reg.Counter("faasmem_readahead_pages_total", "remote pages recalled by swap readahead"),
+		coldReinits:    reg.Counter("faasmem_cold_reinits_total", "containers discarded and relaunched after a fetch timeout"),
+		fallbackPages:  reg.Counter("faasmem_fallback_pages_total", "remote pages served from the local swap copy during outages"),
 		offloadedPages: [4]*telemetry.Metric{
 			telemetry.StageNone:    reg.Counter("faasmem_pages_offloaded_unsegmented_total", "pages offloaded outside any tracked segment"),
 			telemetry.StageRuntime: reg.Counter("faasmem_pages_offloaded_runtime_total", "runtime-segment pages offloaded to the pool"),

@@ -12,6 +12,7 @@ package fastswap
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/faasmem/faasmem/internal/telemetry"
 )
@@ -25,6 +26,12 @@ type Config struct {
 	// fault pulls in alongside the faulting page (vm.page-cluster=3 reads
 	// 8 pages). Zero disables readahead.
 	ReadaheadPages int
+	// FallbackReadLatency, when positive, models a write-through local copy
+	// of every offloaded page (dual swap backends: RDMA primary, disk
+	// secondary). A fetch that times out against the pool can then be
+	// served locally at this per-page read latency instead of forcing a
+	// cold re-init. Zero disables the fallback.
+	FallbackReadLatency time.Duration
 }
 
 // Device is one node's swap device. The zero value is not usable; construct
@@ -35,10 +42,13 @@ type Device struct {
 
 	clusterReads  int64             // cluster reads served (faults that pulled readahead)
 	clusterPages  int64             // pages prefetched by cluster reads
+	fallbackReads int64             // timed-out fetches served from the local copy
+	fallbackPages int64             // pages read via the local fallback
 	slotsUsed     *telemetry.Metric // gauge, nil no-op until Instrument
 	truncations   *telemetry.Metric
 	clusterReadsM *telemetry.Metric
 	clusterPagesM *telemetry.Metric
+	fallbackPgsM  *telemetry.Metric
 }
 
 // NewDevice creates a swap device.
@@ -65,6 +75,7 @@ func (d *Device) Instrument(reg *telemetry.Registry) {
 	d.truncations = reg.Counter("faasmem_swap_full_truncations_total", "slot allocations truncated by a full swapfile")
 	d.clusterReadsM = reg.Counter("faasmem_swap_cluster_reads_total", "demand faults that pulled a readahead cluster")
 	d.clusterPagesM = reg.Counter("faasmem_swap_cluster_pages_total", "pages prefetched by readahead cluster reads")
+	d.fallbackPgsM = reg.Counter("faasmem_swap_fallback_pages_total", "pages served from the local write-through copy after a pool fetch timeout")
 }
 
 // Used returns occupied slots.
@@ -136,4 +147,27 @@ func (d *Device) NoteClusterRead(pages int) {
 // many pages rode along in total.
 func (d *Device) ClusterReads() (reads, pages int64) {
 	return d.clusterReads, d.clusterPages
+}
+
+// FallbackEnabled reports whether the device keeps a write-through local
+// copy a timed-out pool fetch can fall back to.
+func (d *Device) FallbackEnabled() bool { return d.cfg.FallbackReadLatency > 0 }
+
+// FallbackRead serves pages from the local write-through copy after a pool
+// fetch timeout and returns the read latency the request observes. Callers
+// must release the pool-side ledger separately (rmem.RecallLocal).
+func (d *Device) FallbackRead(pages int) time.Duration {
+	if pages <= 0 || !d.FallbackEnabled() {
+		return 0
+	}
+	d.fallbackReads++
+	d.fallbackPages += int64(pages)
+	d.fallbackPgsM.Add(int64(pages))
+	return time.Duration(pages) * d.cfg.FallbackReadLatency
+}
+
+// FallbackReads returns how many timed-out fetches were served locally, and
+// the pages they covered.
+func (d *Device) FallbackReads() (reads, pages int64) {
+	return d.fallbackReads, d.fallbackPages
 }

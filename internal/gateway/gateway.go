@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/faasmem/faasmem/internal/experiments"
+	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -53,6 +54,13 @@ type RunRequest struct {
 	KeepAliveSec float64 `json:"keep_alive_sec"`
 	// Seed drives all randomness. Default 1.
 	Seed int64 `json:"seed"`
+	// FaultIntensity in [0, 1] arms a seed-driven fault plan beneath the
+	// remote-memory path (link flaps, pool crashes, tier storms, latency
+	// spikes). 0 (the default) runs fault-free.
+	FaultIntensity float64 `json:"fault_intensity"`
+	// FaultSeed drives the fault schedule independently of Seed. Defaults
+	// to Seed.
+	FaultSeed int64 `json:"fault_seed"`
 }
 
 func (r *RunRequest) normalize() error {
@@ -82,6 +90,12 @@ func (r *RunRequest) normalize() error {
 	}
 	if r.Seed == 0 {
 		r.Seed = 1
+	}
+	if r.FaultIntensity < 0 || r.FaultIntensity > 1 {
+		return fmt.Errorf("fault_intensity %g out of range [0, 1]", r.FaultIntensity)
+	}
+	if r.FaultSeed == 0 {
+		r.FaultSeed = r.Seed
 	}
 	return nil
 }
@@ -158,19 +172,28 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.runs.Inc()
 	duration := time.Duration(req.DurationSec * float64(time.Second))
+	keepAlive := time.Duration(req.KeepAliveSec * float64(time.Second))
 	fn := trace.GenerateFunction(req.Bench, duration,
 		time.Duration(req.MeanGapSec*float64(time.Second)), req.Bursty, req.Seed)
-	out := experiments.RunScenario(experiments.Scenario{
+	sc := experiments.Scenario{
 		Profile:     workload.ByName(req.Bench),
 		Invocations: fn.Invocations,
 		Duration:    duration,
-		KeepAlive:   time.Duration(req.KeepAliveSec * float64(time.Second)),
+		KeepAlive:   keepAlive,
 		Policy:      experiments.PolicyKind(req.Policy),
 		SeedHistory: true,
 		Seed:        req.Seed,
 		Telemetry:   s.hub(),
 		Spans:       s.spans,
-	})
+	}
+	if req.FaultIntensity > 0 {
+		sc.Pool.Faults = faultinject.New(faultinject.Config{
+			Horizon:   duration + keepAlive,
+			Intensity: req.FaultIntensity,
+			Seed:      req.FaultSeed,
+		})
+	}
+	out := experiments.RunScenario(sc)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Bench:    req.Bench,
 		Policy:   req.Policy,
@@ -185,6 +208,7 @@ var experimentNames = []string{
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
 	"ext-percentile", "ext-rack", "ext-attrib", "ext-pool-density",
+	"ext-resilience",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -247,6 +271,10 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.AttribPressure(experiments.AttribPressureOptions{Duration: 10 * time.Minute, Seed: seed})
 	case "ext-pool-density":
 		rows = experiments.PoolDensity(experiments.PoolDensityOptions{Duration: 5 * time.Minute, Seed: seed})
+	case "ext-resilience":
+		rows = experiments.Resilience(experiments.ResilienceOptions{
+			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute, Seed: seed, FaultSeed: seed,
+		})
 	default:
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
 		return

@@ -262,8 +262,8 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 21 {
-		t.Fatalf("experiments = %d, want 21", len(names))
+	if len(names) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(names))
 	}
 	// Every advertised name must actually dispatch.
 	for _, n := range names {
@@ -274,6 +274,75 @@ func TestExperimentsList(t *testing.T) {
 		r := do(t, http.MethodPost, "/experiments/"+n, "")
 		if r.Code != http.StatusOK {
 			t.Errorf("experiment %q: status %d", n, r.Code)
+		}
+	}
+}
+
+// TestRunFaultIntensity checks the fault-injection knobs on POST /run: an
+// armed plan populates Outcome.Recovery, and an out-of-range intensity is a
+// 400, not a silent clamp.
+func TestRunFaultIntensity(t *testing.T) {
+	rec := do(t, http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":240,"mean_gap_sec":5,"seed":3,"fault_intensity":1,"fault_seed":7}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome.Recovery == nil {
+		t.Fatal("fault_intensity=1 run returned no recovery stats")
+	}
+	if got := resp.Outcome.Recovery.DoneNormal + resp.Outcome.Recovery.DoneRescheduled +
+		resp.Outcome.Recovery.DoneReinit; got != resp.Requests {
+		t.Fatalf("completion classes %d != requests %d", got, resp.Requests)
+	}
+
+	for _, bad := range []string{
+		`{"bench":"json","fault_intensity":1.5}`,
+		`{"bench":"json","fault_intensity":-0.1}`,
+	} {
+		if r := do(t, http.MethodPost, "/run", bad); r.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400", bad, r.Code)
+		}
+	}
+
+	// Intensity 0 must leave the plan unarmed: no Recovery block at all.
+	rec = do(t, http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":120,"mean_gap_sec":10,"seed":3}`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome.Recovery != nil {
+		t.Fatalf("fault-free run returned recovery stats: %+v", resp.Outcome.Recovery)
+	}
+}
+
+// TestExperimentResilience smoke-runs the ext-resilience endpoint.
+func TestExperimentResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node sweep too slow for -short")
+	}
+	rec := do(t, http.MethodPost, "/experiments/ext-resilience?seed=2", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Experiment string           `json:"experiment"`
+		Rows       []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Experiment != "ext-resilience" || len(resp.Rows) == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	for _, row := range resp.Rows {
+		for _, key := range []string{"intensity", "submitted", "completed", "p99_sec", "cold_start_ratio"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("row missing %q: %v", key, row)
+			}
 		}
 	}
 }

@@ -249,6 +249,11 @@ type Node struct {
 	compressTime     time.Duration
 	decompressTime   time.Duration
 
+	// forceFull makes the node report zero admissible headroom and reject
+	// offload batches outright — the tier-full storm injected by a fault
+	// plan. Recalls and discards still work.
+	forceFull bool
+
 	met nodeMetrics
 }
 
@@ -349,6 +354,9 @@ func (n *Node) CompressSavedBytes() int64 {
 // DRAM, plus what compressing the current hot tier would reclaim, plus free
 // spill. With an unbounded spill tier the node never rejects for capacity.
 func (n *Node) AcceptableBytes() int64 {
+	if n.forceFull {
+		return 0
+	}
 	if n.cfg.SpillBytes <= 0 {
 		return math.MaxInt64 / 4
 	}
@@ -363,6 +371,14 @@ func (n *Node) AcceptableBytes() int64 {
 	return free
 }
 
+// SetForceFull toggles the injected tier-full storm state: while set, the
+// node reports zero admissible headroom and rejects every offload batch
+// (counted as full rejects). Recalls and discards are unaffected.
+func (n *Node) SetForceFull(v bool) { n.forceFull = v }
+
+// ForceFull reports whether an injected tier-full storm is active.
+func (n *Node) ForceFull() bool { return n.forceFull }
+
 // key returns the store key a described batch lands under.
 func (n *Node) key(owner, fn string, class Class) entryKey {
 	if class.Shared() && !n.cfg.DisableDedup {
@@ -376,6 +392,12 @@ func (n *Node) key(owner, fn string, class Class) entryKey {
 // caller keeps rejected pages local.
 func (n *Node) Offload(owner, fn string, class Class, pages int) int {
 	if pages <= 0 {
+		return 0
+	}
+	if n.forceFull {
+		n.fullRejectPages += int64(pages)
+		n.met.fullRejects.Add(int64(pages))
+		n.syncGauges()
 		return 0
 	}
 	ps := int64(n.cfg.PageSize)

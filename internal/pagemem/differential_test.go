@@ -1,0 +1,293 @@
+package pagemem
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// naiveSpace is the obviously-correct model of Space: plain slices, no
+// bitsets, no incremental counters — every query is an O(pages) rescan. The
+// differential drivers below replay one operation script through both and
+// fail on any observable divergence, so the word-at-a-time scan paths
+// (ForEachSet unions, popcounts, range clears) are checked against
+// per-page semantics.
+type naiveSpace struct {
+	pageSize int
+	state    []State
+	seg      []Segment
+	accessed []bool
+}
+
+func (n *naiveSpace) alloc(seg Segment, count int) {
+	for i := 0; i < count; i++ {
+		n.state = append(n.state, Inactive)
+		n.seg = append(n.seg, seg)
+		n.accessed = append(n.accessed, true)
+	}
+}
+
+func (n *naiveSpace) freeRange(r Range) {
+	for id := r.Start; id < r.End; id++ {
+		n.state[id] = Free
+		n.accessed[id] = false
+	}
+}
+
+func (n *naiveSpace) reuseRange(r Range) {
+	for id := r.Start; id < r.End; id++ {
+		if n.state[id] == Free {
+			n.state[id] = Inactive
+			n.accessed[id] = true
+		}
+	}
+}
+
+func (n *naiveSpace) transitionRange(r Range, from, to State) int {
+	moved := 0
+	for id := r.Start; id < r.End; id++ {
+		if n.state[id] == from {
+			n.state[id] = to
+			moved++
+		}
+	}
+	return moved
+}
+
+func (n *naiveSpace) scanAndClear(r Range) []PageID {
+	var hit []PageID
+	for id := r.Start; id < r.End; id++ {
+		if n.accessed[id] {
+			hit = append(hit, id)
+			n.accessed[id] = false
+		}
+	}
+	return hit
+}
+
+func (n *naiveSpace) countInRange(r Range, st State) int {
+	c := 0
+	for id := r.Start; id < r.End; id++ {
+		if n.state[id] == st {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *naiveSpace) count(seg Segment, st State) int {
+	c := 0
+	for id := range n.state {
+		if n.seg[id] == seg && n.state[id] == st {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *naiveSpace) collectInState(r Range, st State, max int) []PageID {
+	var out []PageID
+	for id := r.Start; id < r.End; id++ {
+		if n.state[id] == st {
+			out = append(out, id)
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (n *naiveSpace) collectLocal(r Range, max int) []PageID {
+	var out []PageID
+	for id := r.Start; id < r.End; id++ {
+		if n.state[id] == Inactive || n.state[id] == Hot {
+			out = append(out, id)
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// spacePair drives one script through the bitset-backed Space and the model.
+type spacePair struct {
+	fast *Space
+	slow *naiveSpace
+}
+
+func newSpacePair() *spacePair {
+	return &spacePair{
+		fast: NewSpace(DefaultPageSize),
+		slow: &naiveSpace{pageSize: DefaultPageSize},
+	}
+}
+
+// rangeFrom derives an in-bounds half-open range from two script bytes.
+func (p *spacePair) rangeFrom(a, b byte) Range {
+	n := PageID(len(p.slow.state))
+	if n == 0 {
+		return Range{}
+	}
+	lo := PageID(a) * n / 256
+	hi := PageID(b) * (n + 1) / 256
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return Range{Start: lo, End: hi}
+}
+
+// step applies one scripted operation to both spaces. Operands come from an
+// arbitrary byte stream so the fuzzer can drive it too.
+func (p *spacePair) step(t *testing.T, op, a, b byte) {
+	t.Helper()
+	n := len(p.slow.state)
+	switch op % 8 {
+	case 0: // grow
+		seg := Segment(int(a) % int(NumSegments))
+		count := int(b) % 97
+		p.fast.Alloc(seg, count)
+		p.slow.alloc(seg, count)
+	case 1: // release a range (exec teardown)
+		r := p.rangeFrom(a, b)
+		p.fast.FreeRange(r)
+		p.slow.freeRange(r)
+	case 2: // revive freed slots (exec reuse)
+		r := p.rangeFrom(a, b)
+		p.fast.ReuseRange(r)
+		p.slow.reuseRange(r)
+	case 3: // single-page transition
+		if n == 0 {
+			return
+		}
+		id := PageID((int(a)<<8 | int(b)) % n)
+		st := State(1 + int(a)%3) // Inactive, Hot or Remote — never Free
+		if p.slow.state[id] == Free {
+			return
+		}
+		p.fast.SetState(id, st)
+		p.slow.state[id] = st
+	case 4: // access path
+		if n == 0 {
+			return
+		}
+		id := PageID((int(a)<<8 | int(b)) % n)
+		got := p.fast.Touch(id)
+		p.slow.accessed[id] = true
+		if want := p.slow.state[id]; got != want {
+			t.Fatalf("Touch(%d) = %v, want %v", id, got, want)
+		}
+	case 5: // bulk transition (offload/recall sweeps)
+		r := p.rangeFrom(a, b)
+		from := State(1 + int(a)%3)
+		to := State(1 + int(b)%3)
+		if from == to {
+			return
+		}
+		got := p.fast.TransitionRange(r, from, to, nil)
+		if want := p.slow.transitionRange(r, from, to); got != want {
+			t.Fatalf("TransitionRange(%v, %v->%v) moved %d, want %d", r, from, to, got, want)
+		}
+	case 6: // accessed-bit scan (DAMON/TMO sampling)
+		r := p.rangeFrom(a, b)
+		var got []PageID
+		p.fast.ScanAndClear(r, func(id PageID) { got = append(got, id) })
+		if want := p.slow.scanAndClear(r); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ScanAndClear(%v) = %v, want %v", r, got, want)
+		}
+	case 7: // bounded victim collection
+		r := p.rangeFrom(a, b)
+		st := State(int(a) % int(numStates))
+		max := int(b) % 5
+		got := p.fast.CollectInState(nil, r, st, max)
+		if want := p.slow.collectInState(r, st, max); !reflect.DeepEqual(got, want) {
+			t.Fatalf("CollectInState(%v, %v, %d) = %v, want %v", r, st, max, got, want)
+		}
+		gotLocal := p.fast.CollectLocal(nil, r, max)
+		if want := p.slow.collectLocal(r, max); !reflect.DeepEqual(gotLocal, want) {
+			t.Fatalf("CollectLocal(%v, %d) = %v, want %v", r, max, gotLocal, want)
+		}
+	}
+}
+
+// check compares the complete observable aggregate state.
+func (p *spacePair) check(t *testing.T, step int) {
+	t.Helper()
+	if got, want := p.fast.NumPages(), len(p.slow.state); got != want {
+		t.Fatalf("step %d: NumPages = %d, want %d", step, got, want)
+	}
+	for st := Free; st < numStates; st++ {
+		all := Range{Start: 0, End: PageID(len(p.slow.state))}
+		if got, want := p.fast.CountInRange(all, st), p.slow.countInRange(all, st); got != want {
+			t.Fatalf("step %d: CountInRange(all, %v) = %d, want %d", step, st, got, want)
+		}
+		if got, want := p.fast.CountState(st), p.slow.countInRange(all, st); got != want {
+			t.Fatalf("step %d: CountState(%v) = %d, want %d", step, st, got, want)
+		}
+		for seg := Segment(0); seg < NumSegments; seg++ {
+			if got, want := p.fast.Count(seg, st), p.slow.count(seg, st); got != want {
+				t.Fatalf("step %d: Count(%v, %v) = %d, want %d", step, seg, st, got, want)
+			}
+		}
+	}
+	for id := range p.slow.state {
+		if got, want := p.fast.State(PageID(id)), p.slow.state[id]; got != want {
+			t.Fatalf("step %d: State(%d) = %v, want %v", step, id, got, want)
+		}
+		if got, want := p.fast.Accessed(PageID(id)), p.slow.accessed[id]; got != want {
+			t.Fatalf("step %d: Accessed(%d) = %v, want %v", step, id, got, want)
+		}
+	}
+	all := Range{Start: 0, End: PageID(len(p.slow.state))}
+	if got, want := p.fast.CountAccessed(all), len(p.slow.scanAndClearPreview()); got != want {
+		t.Fatalf("step %d: CountAccessed = %d, want %d", step, got, want)
+	}
+}
+
+// scanAndClearPreview returns the accessed set without clearing (model-side
+// helper for CountAccessed).
+func (n *naiveSpace) scanAndClearPreview() []PageID {
+	var hit []PageID
+	for id, acc := range n.accessed {
+		if acc {
+			hit = append(hit, PageID(id))
+		}
+	}
+	return hit
+}
+
+// TestSpaceDifferentialRandomOps replays long random scripts through the
+// bitset-backed Space and the naive model, comparing complete observable
+// state periodically.
+func TestSpaceDifferentialRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := newSpacePair()
+		for step := 0; step < 500; step++ {
+			p.step(t, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+			if step%11 == 0 || step == 499 {
+				p.check(t, step)
+			}
+		}
+		p.check(t, 500)
+	}
+}
+
+// FuzzSpaceDifferential lets the fuzzer drive arbitrary operation scripts
+// through Space and the naive model; any divergence in scan results,
+// counters, or per-page state fails.
+func FuzzSpaceDifferential(f *testing.F) {
+	f.Add([]byte{0, 0, 70, 4, 0, 5, 3, 1, 9, 5, 0, 255, 6, 0, 255, 7, 2, 3})
+	f.Add([]byte{0, 2, 96, 1, 20, 200, 2, 10, 128, 0, 1, 33, 5, 64, 250})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 3*300 {
+			script = script[:3*300]
+		}
+		p := newSpacePair()
+		for i := 0; i+2 < len(script); i += 3 {
+			p.step(t, script[i], script[i+1], script[i+2])
+		}
+		p.check(t, len(script))
+	})
+}

@@ -34,6 +34,9 @@ func (p *Pool) OffloadDescribed(now simtime.Time, owner, fn string, counts Class
 		}
 		return counts, done, nil
 	}
+	if err := p.probeHealth(now); err != nil {
+		return ClassCounts{}, now, err
+	}
 	total := 0
 	for cls := range counts {
 		if counts[cls] == 0 {

@@ -97,7 +97,13 @@ func NewGovernor(pool *Pool, limit float64) *Governor {
 // the budget it shrinks proportionally so aggregate traffic converges to the
 // budget ("uniformly reduces the offload speed of all containers").
 func (g *Governor) Scale(now simtime.Time) float64 {
-	budget := g.Limit * float64(g.pool.cfg.Bandwidth)
+	if !g.pool.Healthy(now) {
+		// Degraded mode: pause gradual offload entirely while the link or
+		// pool node is out; work resumes when the plan shows recovery.
+		g.pool.noteHealth(now)
+		return 0
+	}
+	budget := g.Limit * g.pool.bandwidthAt(now)
 	rate := g.pool.meter[Offload].Rate(now)
 	if rate <= budget || rate == 0 {
 		return 1

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
@@ -59,6 +60,18 @@ type Config struct {
 	// residency instead of Capacity, and the described offload/recall paths
 	// feed it page provenance. The wire/backlog model is unchanged.
 	Node *memnode.Config
+	// Faults optionally injects a deterministic fault plan beneath the
+	// pool: link flaps and crashes fail fetches/offloads with typed errors,
+	// degrade windows shrink effective bandwidth, latency spikes inflate
+	// fault latency, and tier storms zero the memnode's headroom. A nil or
+	// empty plan is dropped at construction, keeping the fault-free path
+	// bit-identical to a pool built without this field.
+	Faults *faultinject.Plan
+	// RetryMax bounds FetchRetry's backoff attempts. Default 6.
+	RetryMax int
+	// RetryBackoff is FetchRetry's initial backoff, doubling per attempt.
+	// Default 20 ms.
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig returns the 2-node CloudLab-like setup used by the paper:
@@ -93,11 +106,37 @@ func (c Config) withDefaults() Config {
 	if c.MaxBacklog <= 0 {
 		c.MaxBacklog = time.Second
 	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 6
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
 	return c
 }
 
-// ErrPoolFull is returned when an offload would exceed pool capacity.
-var ErrPoolFull = errors.New("rmem: memory pool is full")
+// The pool's typed fault-path errors. Retry/backoff logic branches on them:
+// link-down and pool-down are transient (retryable); pool-full and timeout
+// are terminal for the issuing batch.
+var (
+	// ErrPoolFull is returned when an offload would exceed pool capacity.
+	ErrPoolFull = errors.New("rmem: memory pool is full")
+	// ErrLinkDown is returned while a link-flap window holds the pool link
+	// fully down.
+	ErrLinkDown = errors.New("rmem: pool link is down")
+	// ErrPoolDown is returned while the pool node is crashed.
+	ErrPoolDown = errors.New("rmem: pool node is down")
+	// ErrFetchTimeout is returned when FetchRetry exhausts its retry budget
+	// or the per-container fetch timeout before the link recovers.
+	ErrFetchTimeout = errors.New("rmem: page fetch timed out")
+)
+
+// Retryable reports whether err is a transient fault-path error worth
+// retrying with backoff (link or pool-node outage). Pool-full and timeout
+// are terminal.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrLinkDown) || errors.Is(err, ErrPoolDown)
+}
 
 // Direction labels a transfer for bandwidth accounting.
 type Direction int
@@ -121,15 +160,30 @@ type Pool struct {
 	node      *memnode.Node
 	tr        *telemetry.Tracer
 	met       poolMetrics
+
+	// flt is the injected fault plan; nil when no (or an empty) plan is
+	// configured, so every fault branch below is a single nil check on the
+	// fault-free path.
+	flt *faultinject.Plan
+	// healthy tracks the last observed degraded-mode state for edge-
+	// triggered enter/exit events.
+	healthy bool
+	// windowsTraced guards the one-time fault-window trace dump (a rack-
+	// shared pool is instrumented once per attached platform).
+	windowsTraced bool
 }
 
 // poolMetrics are the pool's live counters; every field is a no-op nil
 // *telemetry.Metric until Instrument attaches a registry.
 type poolMetrics struct {
-	offloadBytes *telemetry.Metric
-	recallBytes  *telemetry.Metric
-	usedBytes    *telemetry.Metric
-	saturation   *telemetry.Metric
+	offloadBytes  *telemetry.Metric
+	recallBytes   *telemetry.Metric
+	usedBytes     *telemetry.Metric
+	saturation    *telemetry.Metric
+	fetchRetries  *telemetry.Metric
+	fetchTimeouts *telemetry.Metric
+	degraded      *telemetry.Metric
+	injectedStall *telemetry.Metric
 }
 
 // Instrument attaches a tracer and metric registry to the pool. Either may
@@ -142,23 +196,32 @@ func (p *Pool) Instrument(tr *telemetry.Tracer, reg *telemetry.Registry) {
 	}
 	p.tr = tr
 	p.met = poolMetrics{
-		offloadBytes: reg.Counter("faasmem_link_offload_bytes_total", "bytes bulk-transferred node->pool"),
-		recallBytes:  reg.Counter("faasmem_link_recall_bytes_total", "bytes transferred pool->node (bulk and faults)"),
-		usedBytes:    reg.Gauge("faasmem_pool_used_bytes", "bytes currently stored in the remote pool"),
-		saturation:   reg.Counter("faasmem_link_saturation_events_total", "faults served while link utilization was past the saturation point"),
+		offloadBytes:  reg.Counter("faasmem_link_offload_bytes_total", "bytes bulk-transferred node->pool"),
+		recallBytes:   reg.Counter("faasmem_link_recall_bytes_total", "bytes transferred pool->node (bulk and faults)"),
+		usedBytes:     reg.Gauge("faasmem_pool_used_bytes", "bytes currently stored in the remote pool"),
+		saturation:    reg.Counter("faasmem_link_saturation_events_total", "faults served while link utilization was past the saturation point"),
+		fetchRetries:  reg.Counter("faasmem_fetch_retries_total", "page-fetch attempts retried after a transient link/pool fault"),
+		fetchTimeouts: reg.Counter("faasmem_fetch_timeouts_total", "page fetches abandoned after exhausting retries or the fetch timeout"),
+		degraded:      reg.Counter("faasmem_degraded_transitions_total", "degraded-mode enter+exit transitions observed by the pool"),
+		injectedStall: reg.Counter("faasmem_injected_stall_us_total", "microseconds of fault-latency added by injected latency spikes"),
 	}
 	p.node.Instrument(reg)
+	p.traceFaultWindows(tr)
 }
 
 // NewPool creates a pool from cfg, applying defaults for zero fields.
 func NewPool(cfg Config) *Pool {
 	c := cfg.withDefaults()
 	p := &Pool{
-		cfg:   c,
-		meter: [2]*Meter{NewMeter(time.Second), NewMeter(time.Second)},
+		cfg:     c,
+		meter:   [2]*Meter{NewMeter(time.Second), NewMeter(time.Second)},
+		healthy: true,
 	}
 	if c.Node != nil {
 		p.node = memnode.New(*c.Node)
+	}
+	if c.Faults != nil && !c.Faults.Empty() {
+		p.flt = c.Faults
 	}
 	return p
 }
@@ -181,6 +244,19 @@ func (p *Pool) Config() Config { return p.cfg }
 // Meter returns the bandwidth meter for a direction.
 func (p *Pool) Meter(d Direction) *Meter { return p.meter[d] }
 
+// bandwidthAt returns the link's effective bandwidth at now: the configured
+// rate, shrunk by an active degrade window when a fault plan is injected.
+func (p *Pool) bandwidthAt(now simtime.Time) float64 {
+	bw := float64(p.cfg.Bandwidth)
+	if p.flt != nil {
+		bw *= p.flt.BandwidthFactor(now)
+		if bw < 1 {
+			bw = 1
+		}
+	}
+	return bw
+}
+
 // transferTime returns how long moving n bytes takes at full bandwidth.
 func (p *Pool) transferTime(bytes int64) time.Duration {
 	if bytes <= 0 {
@@ -189,13 +265,25 @@ func (p *Pool) transferTime(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / float64(p.cfg.Bandwidth) * float64(time.Second))
 }
 
+// transferTimeAt is transferTime at the effective (possibly degraded)
+// bandwidth in force at now.
+func (p *Pool) transferTimeAt(now simtime.Time, bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if p.flt == nil {
+		return p.transferTime(bytes)
+	}
+	return time.Duration(float64(bytes) / p.bandwidthAt(now) * float64(time.Second))
+}
+
 // reserve serializes a bulk transfer on the link, FIFO.
 func (p *Pool) reserve(now simtime.Time, bytes int64) (start, done simtime.Time) {
 	start = now
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
-	done = start + p.transferTime(bytes)
+	done = start + p.transferTimeAt(start, bytes)
 	p.busyUntil = done
 	p.lastStart, p.lastDone = start, done
 	return start, done
@@ -218,7 +306,7 @@ func (p *Pool) Backlog(now simtime.Time) time.Duration {
 
 // BacklogBytes converts Backlog to the bytes still queued on the wire.
 func (p *Pool) BacklogBytes(now simtime.Time) int64 {
-	return int64(p.Backlog(now).Seconds() * float64(p.cfg.Bandwidth))
+	return int64(p.Backlog(now).Seconds() * p.bandwidthAt(now))
 }
 
 // AcceptableBytes reports how many bytes the link can accept for offload at
@@ -226,6 +314,14 @@ func (p *Pool) BacklogBytes(now simtime.Time) int64 {
 // by remaining pool capacity. Offloaders should truncate their batches to
 // this budget.
 func (p *Pool) AcceptableBytes(now simtime.Time) int64 {
+	if p.flt != nil {
+		// Degraded mode pauses offload entirely: an unhealthy link accepts
+		// nothing, and a tier storm zeroes the node's headroom.
+		p.noteHealth(now)
+		if p.flt.Unhealthy(now) || p.flt.TierStorm(now) {
+			return 0
+		}
+	}
 	slack := p.cfg.MaxBacklog
 	if p.busyUntil > now {
 		slack -= p.busyUntil - now
@@ -233,7 +329,7 @@ func (p *Pool) AcceptableBytes(now simtime.Time) int64 {
 	if slack <= 0 {
 		return 0
 	}
-	budget := int64(slack.Seconds() * float64(p.cfg.Bandwidth))
+	budget := int64(slack.Seconds() * p.bandwidthAt(now))
 	if p.node != nil {
 		// Effective headroom: the node dedups and compresses, so it can
 		// accept more logical bytes than its raw free DRAM.
@@ -261,6 +357,9 @@ func (p *Pool) OffloadBytes(now simtime.Time, bytes int64) (simtime.Time, error)
 	}
 	if bytes == 0 {
 		return now, nil
+	}
+	if err := p.probeHealth(now); err != nil {
+		return now, err
 	}
 	if p.node == nil && p.cfg.Capacity > 0 && p.used+bytes > p.cfg.Capacity {
 		return now, ErrPoolFull
@@ -323,7 +422,7 @@ func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
 	p.meter[Recall].Record(now, pageBytes)
 	p.met.recallBytes.Add(pageBytes)
 	p.met.usedBytes.Set(p.used)
-	lat := p.cfg.FaultLatency + p.transferTime(pageBytes)
+	lat := p.faultLatencyAt(now) + p.transferTimeAt(now, pageBytes)
 	util := p.Utilization(now)
 	if util > p.cfg.SaturationPoint {
 		over := (util - p.cfg.SaturationPoint) / (1 - p.cfg.SaturationPoint)
@@ -348,6 +447,14 @@ type FaultStall struct {
 	// Tier is the pool-side tier surcharge (decompression and spill reads)
 	// when a memory node is attached; it is included in Total.
 	Tier time.Duration
+	// Injected is the extra latency added by an active fault-plan latency
+	// spike; it is included in Total.
+	Injected time.Duration
+	// Backoff is the retry wait FetchRetry spent before the fetch finally
+	// went through; it is included in Total. Retries counts the failed
+	// attempts. Both are zero outside FetchRetry.
+	Backoff time.Duration
+	Retries int
 }
 
 // FaultBatch performs n demand fetches of pageBytes each during one request
@@ -376,8 +483,15 @@ func (p *Pool) FaultBatchDetail(now simtime.Time, n int, pageBytes int64) FaultS
 	p.met.recallBytes.Add(total)
 	p.met.usedBytes.Set(p.used)
 	rounds := (n + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
-	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTime(total)
+	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTimeAt(now, total)
 	stall := FaultStall{BacklogBytes: p.BacklogBytes(now)}
+	if p.flt != nil {
+		if f := p.flt.LatencyFactor(now); f > 1 {
+			stall.Injected = time.Duration(float64(time.Duration(rounds)*p.cfg.FaultLatency) * (f - 1))
+			lat += stall.Injected
+			p.met.injectedStall.Add(stall.Injected.Microseconds())
+		}
+	}
 	util := p.Utilization(now)
 	if util > p.cfg.SaturationPoint {
 		over := (util - p.cfg.SaturationPoint) / (1 - p.cfg.SaturationPoint)
@@ -415,5 +529,5 @@ func (p *Pool) Discard(bytes int64) {
 // transfer rate in both directions.
 func (p *Pool) Utilization(now simtime.Time) float64 {
 	rate := p.meter[Offload].Rate(now) + p.meter[Recall].Rate(now)
-	return rate / float64(p.cfg.Bandwidth)
+	return rate / p.bandwidthAt(now)
 }

@@ -60,6 +60,12 @@ const (
 	// PhaseBacklog is the share of a stall attributable to link queueing:
 	// offload/rollback backlog occupying the wire past its saturation point.
 	PhaseBacklog
+	// PhaseRetry is the backoff wait a request spent retrying page fetches
+	// against an unhealthy pool link (fault-injection recovery).
+	PhaseRetry
+	// PhaseFallback is the local-swap read time serving pages whose pool
+	// fetch timed out (fault-injection recovery).
+	PhaseFallback
 	// NumPhases bounds Phase-indexed arrays.
 	NumPhases
 )
@@ -74,6 +80,8 @@ var phaseNames = [NumPhases]string{
 	PhaseFaultStall: "fault-stall",
 	PhaseRestore:    "restore",
 	PhaseBacklog:    "backlog",
+	PhaseRetry:      "retry",
+	PhaseFallback:   "fallback",
 }
 
 // String names the phase for tables and trace viewers.

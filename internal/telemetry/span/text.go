@@ -12,7 +12,8 @@ import (
 // golden files.
 var tablePhases = []Phase{
 	PhaseQueue, PhaseLaunch, PhaseInit, PhaseExec,
-	PhaseFaultStall, PhaseRestore, PhaseBacklog, PhaseOther,
+	PhaseFaultStall, PhaseRestore, PhaseBacklog,
+	PhaseRetry, PhaseFallback, PhaseOther,
 }
 
 func fmtDur(d time.Duration) string {

@@ -95,6 +95,27 @@ const (
 	// KindSwapFull marks a swap-device allocation that was truncated for
 	// lack of free slots. Value is the pages denied.
 	KindSwapFull
+	// KindFaultWindow spans one scheduled fault-plan window. Aux is the
+	// faultinject.Kind; Value is the severity factor ×100 (0 for binary
+	// kinds).
+	KindFaultWindow
+	// KindDegradedEnter marks the pool entering degraded mode (link down
+	// or pool node crashed): offload paused, AcceptableBytes clamped.
+	KindDegradedEnter
+	// KindDegradedExit marks the pool leaving degraded mode.
+	KindDegradedExit
+	// KindFetchRetry marks one backoff retry of a failed page fetch. Value
+	// is the attempt number; Aux is the backoff wait in microseconds.
+	KindFetchRetry
+	// KindFetchTimeout marks a page fetch abandoned after exhausting its
+	// retry budget or per-container timeout. Value is the page count.
+	KindFetchTimeout
+	// KindLocalFallback marks a timed-out fetch served from the local swap
+	// copy instead of the pool. Value is the pages read locally.
+	KindLocalFallback
+	// KindColdReinit marks a container discarded and cold re-initialized
+	// because its remote pages were unreachable past the fetch timeout.
+	KindColdReinit
 	numKinds
 )
 
@@ -119,6 +140,13 @@ var kindNames = [numKinds]string{
 	KindLinkTransfer:     "link-transfer",
 	KindLinkSaturation:   "link-saturation",
 	KindSwapFull:         "swap-full",
+	KindFaultWindow:      "fault-window",
+	KindDegradedEnter:    "degraded-enter",
+	KindDegradedExit:     "degraded-exit",
+	KindFetchRetry:       "fetch-retry",
+	KindFetchTimeout:     "fetch-timeout",
+	KindLocalFallback:    "local-fallback",
+	KindColdReinit:       "cold-reinit",
 }
 
 // String names the kind for dumps and trace viewers.
