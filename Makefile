@@ -24,7 +24,7 @@ bench:
 
 # Tier-1 figure/table benchmarks plus the page-engine micro-benches, snapshotted
 # as machine-readable JSON (the CI perf artifact; see cmd/benchjson).
-BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|PoolDensity|MemnodeOffload
+BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|DisabledTimeline|PoolDensity|MemnodeOffload
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -o BENCH_2.json
 	@echo "wrote BENCH_2.json"
@@ -79,4 +79,4 @@ examples:
 	$(GO) run ./examples/attribution
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_gate.txt coverage.out faasmem-trace.json faasmem-spans.json attrib_quick.txt
+	rm -rf results test_output.txt bench_output.txt bench_gate.txt coverage.out faasmem-trace.json faasmem-spans.json attrib_quick.txt timeline_quick.txt

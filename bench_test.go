@@ -21,6 +21,7 @@ import (
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -383,6 +384,42 @@ func BenchmarkDisabledSpans(b *testing.B) {
 					SeedHistory: true,
 					Seed:        11,
 					Spans:       cfg.rec,
+				})
+				if out.Requests == 0 {
+					b.Fatal("no requests")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDisabledTimeline is BenchmarkDisabledSpans for the time-series
+// recorder: with no recorder attached (every figure's default) the per-window
+// sampling ticker is never armed and every hot-path hook is one nil check, so
+// the run must match pre-timeline builds; the enabled case bounds what
+// -timeline costs.
+func BenchmarkDisabledTimeline(b *testing.B) {
+	prof := workload.ByName("json")
+	inv := experiments.HighLoadInvocations(6*time.Minute, 11)
+	for _, cfg := range []struct {
+		name string
+		make func() *timeseries.Recorder
+	}{
+		{"disabled", func() *timeseries.Recorder { return nil }},
+		{"enabled", func() *timeseries.Recorder { return timeseries.NewRecorder(timeseries.Config{}) }},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := experiments.RunScenario(experiments.Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    6 * time.Minute,
+					Policy:      experiments.FaaSMem,
+					CoreConfig:  core.Config{},
+					SeedHistory: true,
+					Seed:        11,
+					Timeline:    cfg.make(),
 				})
 				if out.Requests == 0 {
 					b.Fatal("no requests")

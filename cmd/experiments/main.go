@@ -33,6 +33,7 @@ import (
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 )
 
 // job is one experiment: it returns its rows (for -json) and optional SVG
@@ -43,7 +44,7 @@ type job struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience,ext-observe")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
@@ -55,6 +56,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record every harness's simulation events into one Chrome trace-event JSON file; most useful with -only naming a single experiment (parallel experiments interleave in the shared ring)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity for -trace-out")
 	attrib := flag.Bool("attrib", false, "record causal spans across every harness and print one latency-attribution table at the end; most useful with -only naming a single experiment")
+	timelineOut := flag.String("timeline", "", "record per-window time-series rollups across every harness and write the timeline table to this file ('-' for stdout); most useful with -only naming a single experiment")
+	timelineWindow := flag.Duration("timeline-window", 10*time.Second, "rollup window for -timeline (virtual time)")
 	flag.Parse()
 
 	experiments.SetWorkers(*scenarioWorkers)
@@ -110,6 +113,13 @@ func main() {
 	if *attrib {
 		spans = span.NewRecorder(span.DefaultCapacity)
 		span.SetDefault(spans)
+	}
+	// And for the timeline: Scenario.Timeline defaults to the process
+	// recorder, so one flag rolls up every figure into windowed series.
+	var timeline *timeseries.Recorder
+	if *timelineOut != "" {
+		timeline = timeseries.NewRecorder(timeseries.Config{Window: *timelineWindow})
+		timeseries.SetDefault(timeline)
 	}
 
 	jobs := buildJobs(*seed, *quick, scale)
@@ -175,6 +185,20 @@ func main() {
 	}
 	if spans != nil {
 		if err := span.WriteText(os.Stdout, span.Analyze(spans.Invocations())); err != nil {
+			fatal(err)
+		}
+	}
+	if timeline != nil {
+		out := io.Writer(os.Stdout)
+		if *timelineOut != "-" {
+			f, err := os.Create(*timelineOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := timeseries.WriteText(out, timeline); err != nil {
 			fatal(err)
 		}
 	}
@@ -346,6 +370,17 @@ func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) ti
 			})
 			experiments.PrintResilience(w, rows)
 			return rows, nil
+		}},
+		{"ext-observe", func(w io.Writer) (any, map[string]string) {
+			cells := experiments.Observe(experiments.ObserveOptions{
+				Duration:  scale(10*time.Minute, 4*time.Minute),
+				KeepAlive: scale(8*time.Minute, 3*time.Minute),
+				Fallback:  true,
+				Seed:      seed,
+				FaultSeed: seed,
+			})
+			experiments.PrintObserve(w, cells)
+			return cells, nil
 		}},
 	}
 }

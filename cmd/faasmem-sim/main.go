@@ -30,6 +30,7 @@ import (
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -49,6 +50,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "record simulation events and write a Chrome trace-event JSON file (load in https://ui.perfetto.dev)")
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity; oldest events drop beyond this")
 	attrib := flag.Bool("attrib", false, "record causal spans and print a per-phase latency attribution table after the run")
+	timeline := flag.Bool("timeline", false, "record per-window time-series rollups and print the timeline table after the run")
+	timelineWindow := flag.Duration("timeline-window", 10*time.Second, "rollup window for -timeline (virtual time)")
 	faultIntensity := flag.Float64("fault-intensity", 0, "arm a seed-driven fault plan at this intensity in [0, 1] (link flaps, pool crashes, tier storms, latency spikes); 0 runs fault-free")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule; defaults to -seed")
 	attribOut := flag.String("attrib-out", "", "record causal spans and write them as Chrome trace-event JSON (nested duration events; implies span recording)")
@@ -171,6 +174,10 @@ func main() {
 	if *attrib || *attribOut != "" {
 		spans = span.NewRecorder(span.DefaultCapacity)
 	}
+	var tl *timeseries.Recorder
+	if *timeline {
+		tl = timeseries.NewRecorder(timeseries.Config{Window: *timelineWindow})
+	}
 	sc := experiments.Scenario{
 		Profile:     prof,
 		Invocations: fn.Invocations,
@@ -181,6 +188,7 @@ func main() {
 		Seed:        *seed,
 		Telemetry:   hub,
 		Spans:       spans,
+		Timeline:    tl,
 	}
 	if *faultIntensity > 0 {
 		sc.Pool.Faults = faultinject.New(faultinject.Config{
@@ -246,6 +254,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+	}
+	if tl != nil {
+		fmt.Println()
+		if err := timeseries.WriteText(os.Stdout, tl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -12,6 +12,14 @@
 //	faasmem-stat -bench bert -format json                        # machine-readable
 //	faasmem-stat -bench bert -format svg -o attrib.svg           # phase-share chart
 //	faasmem-stat -bench web -attrib-out spans.json               # also export spans
+//
+// The `timeline` subcommand renders per-window time-series rollups instead
+// of span attribution (same live-run flags, plus -window and
+// -fault-intensity):
+//
+//	faasmem-stat timeline -bench web -window 10s                 # rollup table
+//	faasmem-stat timeline -quick -fault-intensity 1              # faulted, CI-sized
+//	faasmem-stat timeline -format svg -o timeline.svg            # memory chart
 package main
 
 import (
@@ -31,6 +39,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		timelineMain(os.Args[2:])
+		return
+	}
 	tracePath := flag.String("trace", "", "analyze a span trace file (Chrome trace-event JSON written by -attrib-out) instead of running a scenario")
 	bench := flag.String("bench", "web", "benchmark for a live run: "+strings.Join(workload.Names(), ", "))
 	policyName := flag.String("policy", "faasmem", "offloading policy for a live run")

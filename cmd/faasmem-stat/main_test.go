@@ -11,6 +11,7 @@ import (
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -98,5 +99,30 @@ func TestQuickAttributionGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("-quick attribution drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestQuickTimelineGolden pins `timeline -quick -fault-intensity 1` byte for
+// byte — the faulted per-window rollup, including which windows the flight
+// recorder dumped. CI regenerates the same table and diffs.
+func TestQuickTimelineGolden(t *testing.T) {
+	rec := runTimelineScenario(workload.ByName("web"), experiments.FaaSMem,
+		5*time.Minute, 5*time.Second, false, 10*time.Minute, 1, 10*time.Second, 1, 1)
+	var buf bytes.Buffer
+	if err := timeseries.WriteText(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "quick_timeline_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("-quick timeline drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
 	}
 }

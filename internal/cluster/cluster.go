@@ -16,6 +16,7 @@ import (
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -132,6 +133,10 @@ func (c *Cluster) Invoke(fnID string) {
 	n, faultResched := c.pickNode(fnID)
 	if faultResched {
 		c.rescheduledFault++
+		if c.cfg.Node.Timeline.Enabled() {
+			c.cfg.Node.Timeline.AddCounter(c.engine.Now(), timeseries.SeriesRescheduledFault,
+				timeseries.Dims{Node: "rack", Tenant: fnID}, 1)
+		}
 		n.InvokeRescheduled(fnID)
 		return
 	}

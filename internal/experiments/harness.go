@@ -20,6 +20,7 @@ import (
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -78,6 +79,10 @@ type Scenario struct {
 	// falls back to the process default (span.SetDefault), mirroring
 	// Telemetry, so -attrib flags capture every harness without plumbing.
 	Spans *span.Recorder
+	// Timeline attaches a time-series recorder for per-window rollups. Nil
+	// falls back to the process default (timeseries.SetDefault), mirroring
+	// Spans, so -timeline flags capture every harness without plumbing.
+	Timeline *timeseries.Recorder
 }
 
 // Outcome summarizes one scenario run.
@@ -172,6 +177,7 @@ func RunScenario(sc Scenario) Outcome {
 		Swap:             sc.Swap,
 		Telemetry:        sc.Telemetry.OrDefault(),
 		Spans:            sc.Spans.OrDefault(),
+		Timeline:         sc.Timeline.OrDefault(),
 	}, pol)
 	fnID := sc.Profile.Name
 	f := p.Register(fnID, sc.Profile)

@@ -14,6 +14,7 @@ import (
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -331,6 +332,15 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 	})
 	if c.p.spans.Enabled() {
 		c.p.spans.Record(c.buildInvocation(arrival, now))
+	}
+	c.p.met.reqLatency.Observe((now - arrival).Seconds())
+	if c.p.tl.Enabled() {
+		d := timeseries.Dims{Node: c.p.tlNode, Tenant: c.fn.id}
+		c.p.tl.AddCounter(now, timeseries.SeriesRequests, d, 1)
+		if c.curKind == ColdStart {
+			c.p.tl.AddCounter(now, timeseries.SeriesColdStarts, d, 1)
+		}
+		c.p.tl.ObserveLatency(now, timeseries.SeriesRequestLatency, d, now-arrival)
 	}
 	// Recovery attribution is per-request; clear it before any queued
 	// follow-on request reuses this container.
@@ -674,6 +684,16 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 			})
 		}
 		c.p.syncMemGauges()
+	}
+	if c.p.tl.Enabled() {
+		for cls, n := range accepted {
+			if n == 0 {
+				continue
+			}
+			c.p.tl.AddCounter(now, timeseries.SeriesOffloadPages, timeseries.Dims{
+				Node: c.p.tlNode, Tenant: c.fn.id, Class: memnode.Class(cls).String(),
+			}, int64(n))
+		}
 	}
 	return len(moved)
 }

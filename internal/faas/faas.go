@@ -24,6 +24,7 @@ import (
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -79,6 +80,12 @@ type Config struct {
 	// record their background link work through View.Spans. Nil disables
 	// span recording; the disabled path is allocation-free.
 	Spans *span.Recorder
+	// Timeline attaches a time-series recorder: requests, latencies, page
+	// traffic, and recovery activity roll up into per-window points on the
+	// virtual clock, and the platform arms a per-window gauge sampler
+	// (local/remote bytes, live containers, pool occupancy). Nil disables
+	// timeline recording; the disabled path is allocation-free.
+	Timeline *timeseries.Recorder
 	// FetchTimeout bounds how long one request's page fetch may sit in
 	// backoff retries against an unhealthy pool link before giving up and
 	// recovering (local-swap fallback when the swap device keeps a
@@ -249,6 +256,8 @@ type Platform struct {
 	reqLog     RequestLog
 	tel        telemetry.Hub
 	spans      *span.Recorder
+	tl         *timeseries.Recorder
+	tlNode     string
 	met        platformMetrics
 	containers int // ever created
 	liveTotal  int
@@ -279,11 +288,13 @@ func NewWithPool(engine *simtime.Engine, cfg Config, pol policy.Policy, pool *rm
 		swap:     fastswap.NewDevice(c.Swap),
 		tel:      c.Telemetry,
 		spans:    c.Spans,
+		tl:       c.Timeline,
 	}
 	p.met = newPlatformMetrics(p.tel.Reg)
 	pool.Instrument(p.tel.Tracer, p.tel.Reg)
 	p.swap.Instrument(p.tel.Reg)
 	p.reqLog.SetCapacity(c.RequestLogSize)
+	p.armTimeline()
 	return p
 }
 

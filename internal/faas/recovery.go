@@ -9,6 +9,7 @@ import (
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
@@ -219,6 +220,10 @@ func (c *Container) recoverFetch(arrival simtime.Time, touches workload.Touches,
 			At: now, Dur: stall.Backoff + fbLat, Kind: telemetry.KindLocalFallback,
 			Actor: c.id, Fn: c.fn.id, Value: int64(pages),
 		})
+		if c.p.tl.Enabled() {
+			c.p.tl.AddCounter(now, timeseries.SeriesFallbackPages,
+				timeseries.Dims{Node: c.p.tlNode, Tenant: c.fn.id}, int64(pages))
+		}
 		c.curFaults = faults
 		c.curRA = readahead
 		c.curStall = stall.Backoff + fbLat
@@ -249,6 +254,10 @@ func (c *Container) recoverFetch(arrival simtime.Time, touches workload.Touches,
 		At: now, Dur: waited, Kind: telemetry.KindColdReinit,
 		Actor: c.id, Fn: c.fn.id, Value: int64(stall.Retries),
 	})
+	if c.p.tl.Enabled() {
+		c.p.tl.AddCounter(now, timeseries.SeriesColdReinits,
+			timeseries.Dims{Node: c.p.tlNode, Tenant: c.fn.id}, 1)
+	}
 	c.recycle()
 
 	relaunch := func(e *simtime.Engine) {

@@ -26,6 +26,9 @@ type platformMetrics struct {
 	live           *telemetry.Metric
 	localBytes     *telemetry.Metric
 	remoteBytes    *telemetry.Metric
+	// reqLatency is the end-to-end request latency distribution exposed as
+	// a Prometheus histogram (seconds).
+	reqLatency *telemetry.Histogram
 }
 
 func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
@@ -51,6 +54,7 @@ func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
 		live:        reg.Gauge("faasmem_live_containers", "containers currently alive on the node"),
 		localBytes:  reg.Gauge("faasmem_node_local_bytes", "node-local DRAM currently charged"),
 		remoteBytes: reg.Gauge("faasmem_node_remote_bytes", "bytes resident in the remote pool for this node"),
+		reqLatency:  reg.Histogram("faasmem_request_latency_seconds", "end-to-end request latency (arrival to completion)", telemetry.DefBuckets),
 	}
 }
 

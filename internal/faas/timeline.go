@@ -1,0 +1,39 @@
+package faas
+
+import (
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
+)
+
+// armTimeline wires the platform into its Config.Timeline recorder: it
+// caches the node dimension, attaches the pool (arming the flight
+// recorder's fault-window triggers), and starts a per-window ticker that
+// samples the node's occupancy gauges. On a rack-shared pool the first
+// platform to attach also owns the pool-side gauge sampling, so pool series
+// are sampled once per rack rather than once per node. No-op when the
+// timeline is disabled — nothing is scheduled and the DES hot path keeps
+// its single nil check.
+func (p *Platform) armTimeline() {
+	p.tlNode = p.cfg.NodeID
+	if p.tlNode == "" {
+		p.tlNode = "n0"
+	}
+	if !p.tl.Enabled() {
+		return
+	}
+	poolOwner := p.pool.InstrumentTimeline(p.tl)
+	nodeDims := timeseries.Dims{Node: p.tlNode}
+	simtime.NewTicker(p.engine, p.tl.Window(), func(e *simtime.Engine) {
+		now := e.Now()
+		p.tl.SetGauge(now, timeseries.SeriesNodeLocalBytes, nodeDims, p.NodeLocalBytes())
+		p.tl.SetGauge(now, timeseries.SeriesNodeRemoteBytes, nodeDims, p.NodeRemoteBytes())
+		p.tl.SetGauge(now, timeseries.SeriesLiveContainers, nodeDims, int64(p.liveTotal))
+		if poolOwner {
+			p.pool.SampleTimeline(now)
+		}
+	})
+}
+
+// Timeline returns the recorder the platform was built with (nil when
+// timeline recording is disabled).
+func (p *Platform) Timeline() *timeseries.Recorder { return p.tl }

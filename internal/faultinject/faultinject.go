@@ -293,6 +293,21 @@ func (p *Plan) Unhealthy(now simtime.Time) bool {
 	return p.LinkDown(now) || p.PoolDown(now)
 }
 
+// ActiveKinds counts the distinct fault kinds with a window in force at
+// now — the timeline's "how faulted is this instant" gauge.
+func (p *Plan) ActiveKinds(now simtime.Time) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for k := Kind(0); k < numKinds; k++ {
+		if _, ok := p.active(k, now); ok {
+			n++
+		}
+	}
+	return n
+}
+
 // LatencyFactor returns the fault-latency multiplier at now (>= 1).
 func (p *Plan) LatencyFactor(now simtime.Time) float64 {
 	if p == nil {

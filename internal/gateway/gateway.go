@@ -9,6 +9,9 @@
 //	GET  /metrics             live counters, Prometheus text format
 //	GET  /attrib              latency attribution over recorded spans
 //	                          (?format=text|json|prometheus)
+//	GET  /timeline            per-window time-series rollups
+//	                          (?format=text|json)
+//	GET  /flight              flight-recorder dumps (fault windows, SLO burn)
 //	GET  /benchmarks          the 11 benchmark profiles
 //	GET  /policies            available offloading policies
 //	POST /run                 run one scenario (JSON body, JSON outcome)
@@ -33,6 +36,7 @@ import (
 	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
 )
@@ -113,6 +117,7 @@ type RunResponse struct {
 type server struct {
 	reg         *telemetry.Registry
 	spans       *span.Recorder
+	timeline    *timeseries.Recorder
 	runs        *telemetry.Metric
 	replays     *telemetry.Metric
 	experiments *telemetry.Metric
@@ -124,6 +129,7 @@ func newServer() *server {
 	return &server{
 		reg:         reg,
 		spans:       span.NewRecorder(span.DefaultCapacity),
+		timeline:    timeseries.NewRecorder(timeseries.Config{}),
 		runs:        reg.Counter("gateway_runs_total", "POST /run scenarios executed"),
 		replays:     reg.Counter("gateway_replays_total", "POST /replay traces executed"),
 		experiments: reg.Counter("gateway_experiments_total", "POST /experiments regenerations executed"),
@@ -145,6 +151,8 @@ func Handler() http.Handler {
 	})
 	mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.reg))
 	mux.HandleFunc("GET /attrib", s.handleAttrib)
+	mux.HandleFunc("GET /timeline", s.handleTimeline)
+	mux.HandleFunc("GET /flight", s.handleFlight)
 	mux.HandleFunc("GET /benchmarks", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, workload.Profiles())
 	})
@@ -185,6 +193,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Seed:        req.Seed,
 		Telemetry:   s.hub(),
 		Spans:       s.spans,
+		Timeline:    s.timeline,
 	}
 	if req.FaultIntensity > 0 {
 		sc.Pool.Faults = faultinject.New(faultinject.Config{
@@ -208,7 +217,7 @@ var experimentNames = []string{
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
 	"ext-percentile", "ext-rack", "ext-attrib", "ext-pool-density",
-	"ext-resilience",
+	"ext-resilience", "ext-observe",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -275,6 +284,11 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.Resilience(experiments.ResilienceOptions{
 			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute, Seed: seed, FaultSeed: seed,
 		})
+	case "ext-observe":
+		rows = experiments.Observe(experiments.ObserveOptions{
+			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute,
+			Fallback: true, Seed: seed, FaultSeed: seed,
+		})
 	default:
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))
 		return
@@ -283,7 +297,7 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

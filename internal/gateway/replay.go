@@ -181,6 +181,7 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		Seed:             req.Seed,
 		Telemetry:        s.hub(),
 		Spans:            s.spans,
+		Timeline:         s.timeline,
 	}, pol)
 	p.ReplayTrace(req.Trace, func(i int, f *trace.Function) *workload.Profile {
 		base := *pick(i, f)

@@ -34,6 +34,7 @@ package memnode
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/faasmem/faasmem/internal/telemetry"
@@ -812,6 +813,28 @@ func (n *Node) OwnerLogicalBytes(owner string) int64 {
 
 // TenantLogicalBytes reports one tenant's logical holdings.
 func (n *Node) TenantLogicalBytes(tenant string) int64 { return n.tenants[tenant] }
+
+// TenantUsage is one tenant's logical holdings on the node.
+type TenantUsage struct {
+	// Tenant is the tenant identifier.
+	Tenant string
+	// LogicalBytes is the tenant's logical footprint.
+	LogicalBytes int64
+}
+
+// TenantUsages lists every tenant with a non-zero logical footprint, sorted
+// by tenant so iteration order is deterministic — the per-tenant quota-
+// pressure feed for the timeline sampler.
+func (n *Node) TenantUsages() []TenantUsage {
+	out := make([]TenantUsage, 0, len(n.tenants))
+	for t, b := range n.tenants {
+		if b > 0 {
+			out = append(out, TenantUsage{Tenant: t, LogicalBytes: b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
 
 // Stats snapshots the node.
 func (n *Node) Stats() Stats {

@@ -7,6 +7,7 @@ import (
 	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 )
 
 // This file is the pool's fault-injection seam: health probes against the
@@ -69,10 +70,13 @@ func (p *Pool) noteHealth(now simtime.Time) {
 	p.healthy = healthy
 	p.met.degraded.Inc()
 	kind := telemetry.KindDegradedEnter
+	var unhealthy int64 = 1
 	if healthy {
 		kind = telemetry.KindDegradedExit
+		unhealthy = 0
 	}
 	p.tr.Record(telemetry.Event{At: now, Kind: kind, Actor: "pool"})
+	p.tl.SetGauge(now, timeseries.SeriesPoolUnhealthy, poolDims, unhealthy)
 }
 
 // traceFaultWindows dumps the plan's schedule into the tracer once, so trace
@@ -134,6 +138,7 @@ func (p *Pool) FetchRetry(now simtime.Time, owner, fn string, counts ClassCounts
 		retries++
 		if retries > p.cfg.RetryMax || (timeout > 0 && waited+backoff > timeout) {
 			p.met.fetchTimeouts.Inc()
+			p.tl.AddCounter(now, timeseries.SeriesFetchTimeouts, poolDims, 1)
 			p.tr.Record(telemetry.Event{
 				At: now, Dur: waited, Kind: telemetry.KindFetchTimeout,
 				Actor: owner, Fn: fn, Value: int64(counts.Total()),
@@ -150,6 +155,7 @@ func (p *Pool) FetchRetry(now simtime.Time, owner, fn string, counts ClassCounts
 			At: now + simtime.Time(waited), Kind: telemetry.KindFetchRetry,
 			Actor: owner, Fn: fn, Value: int64(retries), Aux: backoff.Microseconds(),
 		})
+		p.tl.AddCounter(now+simtime.Time(waited), timeseries.SeriesFetchRetries, poolDims, 1)
 		waited += backoff
 		backoff *= 2
 	}

@@ -22,6 +22,7 @@ import (
 	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 )
 
 // Config describes a memory pool node and its link.
@@ -171,6 +172,10 @@ type Pool struct {
 	// windowsTraced guards the one-time fault-window trace dump (a rack-
 	// shared pool is instrumented once per attached platform).
 	windowsTraced bool
+	// tl is the attached time-series recorder (nil disables); tlClaimed
+	// marks that one platform already owns the per-window pool sampler.
+	tl        *timeseries.Recorder
+	tlClaimed bool
 }
 
 // poolMetrics are the pool's live counters; every field is a no-op nil
@@ -374,6 +379,7 @@ func (p *Pool) commitOffload(now simtime.Time, bytes int64) simtime.Time {
 	p.meter[Offload].Record(now, bytes)
 	p.met.offloadBytes.Add(bytes)
 	p.met.usedBytes.Set(p.used)
+	p.tl.AddCounter(now, timeseries.SeriesOffloadBytes, poolDims, bytes)
 	p.tr.Record(telemetry.Event{
 		At: start, Dur: time.Duration(done - start),
 		Kind: telemetry.KindLinkTransfer, Actor: "link",
@@ -399,6 +405,7 @@ func (p *Pool) RecallBytes(now simtime.Time, bytes int64) simtime.Time {
 	p.meter[Recall].Record(now, bytes)
 	p.met.recallBytes.Add(bytes)
 	p.met.usedBytes.Set(p.used)
+	p.tl.AddCounter(now, timeseries.SeriesRecallBytes, poolDims, bytes)
 	p.tr.Record(telemetry.Event{
 		At: start, Dur: time.Duration(done - start),
 		Kind: telemetry.KindLinkTransfer, Actor: "link",
@@ -422,6 +429,7 @@ func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
 	p.meter[Recall].Record(now, pageBytes)
 	p.met.recallBytes.Add(pageBytes)
 	p.met.usedBytes.Set(p.used)
+	p.tl.AddCounter(now, timeseries.SeriesRecallBytes, poolDims, pageBytes)
 	lat := p.faultLatencyAt(now) + p.transferTimeAt(now, pageBytes)
 	util := p.Utilization(now)
 	if util > p.cfg.SaturationPoint {
@@ -482,6 +490,7 @@ func (p *Pool) FaultBatchDetail(now simtime.Time, n int, pageBytes int64) FaultS
 	p.meter[Recall].Record(now, total)
 	p.met.recallBytes.Add(total)
 	p.met.usedBytes.Set(p.used)
+	p.tl.AddCounter(now, timeseries.SeriesRecallBytes, poolDims, total)
 	rounds := (n + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
 	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTimeAt(now, total)
 	stall := FaultStall{BacklogBytes: p.BacklogBytes(now)}

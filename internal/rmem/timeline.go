@@ -1,0 +1,70 @@
+package rmem
+
+import (
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
+)
+
+// poolDims is the shared dimension set for pool-side timeline series. A
+// package-level value keeps the enabled hot path allocation-free.
+var poolDims = timeseries.Dims{Node: "pool"}
+
+// InstrumentTimeline attaches a time-series recorder to the pool and arms
+// its flight-recorder triggers from the fault plan's window starts. A
+// rack-shared pool is instrumented by every platform that attaches to it;
+// the first caller with a non-nil recorder becomes the sampling owner
+// (reported by the return value) so per-window pool gauges are sampled
+// exactly once per rack, not once per node.
+func (p *Pool) InstrumentTimeline(tl *timeseries.Recorder) (owner bool) {
+	if tl == nil {
+		return false
+	}
+	claimed := p.tlClaimed
+	p.tl = tl
+	p.tlClaimed = true
+	if claimed {
+		return false
+	}
+	if p.flt != nil {
+		windows := p.flt.Windows()
+		starts := make([]simtime.Time, len(windows))
+		for i, w := range windows {
+			starts[i] = w.Start
+		}
+		tl.ArmFaultStarts(starts)
+	}
+	return true
+}
+
+// SampleTimeline records the pool's per-window gauges at now: occupancy,
+// fault-plan activity, health, and — when a memory node is attached — dedup
+// savings and per-tenant quota pressure. The owning platform's window
+// ticker calls this once per window.
+func (p *Pool) SampleTimeline(now simtime.Time) {
+	if !p.tl.Enabled() {
+		return
+	}
+	p.tl.SetGauge(now, timeseries.SeriesPoolUsedBytes, poolDims, p.used)
+	if p.flt != nil {
+		p.tl.SetGauge(now, timeseries.SeriesFaultActiveKinds, poolDims, int64(p.flt.ActiveKinds(now)))
+		var unhealthy int64
+		if p.flt.Unhealthy(now) {
+			unhealthy = 1
+		}
+		p.tl.SetGauge(now, timeseries.SeriesPoolUnhealthy, poolDims, unhealthy)
+	}
+	if p.node == nil {
+		return
+	}
+	if logical := p.node.LogicalBytes(); logical > 0 {
+		p.tl.SetGauge(now, timeseries.SeriesDedupSavedPermille, poolDims,
+			p.node.DedupSavedBytes()*1000/logical)
+	}
+	if quota := p.node.Config().TenantQuotaBytes; quota > 0 {
+		for _, u := range p.node.TenantUsages() {
+			p.tl.SetGauge(now, timeseries.SeriesTenantQuotaPct,
+				timeseries.Dims{Node: "pool", Tenant: u.Tenant},
+				u.LogicalBytes*100/quota)
+		}
+	}
+}

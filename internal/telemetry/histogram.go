@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefBuckets are the default histogram upper bounds, chosen to resolve
+// request latencies in seconds from 5 ms to 10 s (the Prometheus client
+// defaults, which downstream dashboards expect).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket distribution metric. Like *Metric, a nil
+// *Histogram (from a nil Registry) absorbs observations for free, so
+// subsystems observe unconditionally.
+type Histogram struct {
+	name  string
+	help  string
+	upper []float64 // sorted, exclusive of +Inf
+
+	mu     sync.Mutex
+	counts []int64 // per-bucket (non-cumulative), len(upper)+1 with +Inf last
+	sum    float64
+	count  int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistBucket is one cumulative bucket of a histogram snapshot.
+type HistBucket struct {
+	// Upper is the bucket's inclusive upper bound (the `le` label).
+	Upper float64
+	// Count is the cumulative count of observations <= Upper.
+	Count int64
+}
+
+// HistSample is one histogram's state at snapshot time.
+type HistSample struct {
+	// Name and Help identify the histogram.
+	Name string
+	Help string
+	// Buckets are cumulative, ascending by Upper, excluding +Inf (whose
+	// cumulative count is Count).
+	Buckets []HistBucket
+	// Sum is the sum of all observed values.
+	Sum float64
+	// Count is the total number of observations.
+	Count int64
+}
+
+// snapshot reads the histogram at one instant.
+func (h *Histogram) snapshot() HistSample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSample{Name: h.name, Help: h.help, Sum: h.sum, Count: h.count}
+	s.Buckets = make([]HistBucket, len(h.upper))
+	var cum int64
+	for i, u := range h.upper {
+		cum += h.counts[i]
+		s.Buckets[i] = HistBucket{Upper: u, Count: cum}
+	}
+	return s
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given upper bounds (nil or empty selects DefBuckets). Registration is
+// idempotent by name; re-registering a scalar metric's name as a histogram
+// panics, matching the counter/gauge type-conflict rule.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as histogram, was %v", name, m.typ))
+	}
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		upper:  upper,
+		counts: make([]int64, len(upper)+1),
+	}
+	r.hists[name] = h
+	r.histOrder = append(r.histOrder, h)
+	return h
+}
+
+// HistSnapshot reads every histogram at one instant, sorted by name.
+func (r *Registry) HistSnapshot() []HistSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, len(r.histOrder))
+	copy(hists, r.histOrder)
+	r.mu.Unlock()
+	out := make([]HistSample, len(hists))
+	for i, h := range hists {
+		out[i] = h.snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

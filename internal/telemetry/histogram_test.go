@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "request latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50) // lands in +Inf
+
+	snaps := r.HistSnapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 0.05+0.5+0.5+5+50 {
+		t.Fatalf("Sum = %v", s.Sum)
+	}
+	wantCum := []int64{1, 3, 4}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d (le=%v) = %d, want %d", i, b.Upper, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "", []float64{1})
+	h.Observe(1) // le="1" is inclusive per the exposition format
+	if got := r.HistSnapshot()[0].Buckets[0].Count; got != 1 {
+		t.Fatalf("observation at the bound fell outside: count = %d", got)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("x", "", nil)
+	if h != nil {
+		t.Fatal("nil registry returned non-nil histogram")
+	}
+	h.Observe(1) // must not panic
+	if h.Name() != "" {
+		t.Fatal("nil histogram has a name")
+	}
+}
+
+func TestHistogramIdempotentAndTypeConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h", "", nil)
+	b := r.Histogram("h", "", []float64{1, 2})
+	if a != b {
+		t.Fatal("re-registration returned a different histogram")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("registering a counter over a histogram did not panic")
+			}
+		}()
+		r.Counter("h", "")
+	}()
+	r.Counter("c", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("registering a histogram over a counter did not panic")
+			}
+		}()
+		r.Histogram("c", "", nil)
+	}()
+}
+
+// TestHistogramExpositionConformance checks the rendered text against the
+// Prometheus text format 0.0.4 invariants: TYPE histogram, ascending
+// cumulative buckets closed by le="+Inf" whose count equals _count, a _sum
+// line, and name-sorted interleaving with scalar metrics.
+func TestHistogramExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aa_total", "before").Add(1)
+	r.Counter("zz_total", "after").Add(2)
+	h := r.Histogram("req_seconds", "request latency", []float64{0.25, 0.5, 1})
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Block order is name-sorted across kinds.
+	for _, pair := range [][2]string{{"aa_total", "req_seconds"}, {"req_seconds", "zz_total"}} {
+		if strings.Index(out, pair[0]) > strings.Index(out, pair[1]) {
+			t.Fatalf("blocks out of order (%s after %s):\n%s", pair[0], pair[1], out)
+		}
+	}
+	if !strings.Contains(out, "# TYPE req_seconds histogram\n") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+
+	// Parse the bucket lines and check cumulativity and the +Inf closure.
+	bucketRe := regexp.MustCompile(`(?m)^req_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	matches := bucketRe.FindAllStringSubmatch(out, -1)
+	if len(matches) != 4 {
+		t.Fatalf("got %d bucket lines, want 4:\n%s", len(matches), out)
+	}
+	var prev int64 = -1
+	for _, m := range matches {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("buckets not cumulative: %v", matches)
+		}
+		prev = n
+	}
+	if matches[len(matches)-1][1] != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", matches[len(matches)-1][1])
+	}
+	if !strings.Contains(out, `req_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "req_seconds_count 3\n") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, "req_seconds_sum 2.4\n") {
+		t.Fatalf("missing or wrong _sum:\n%s", out)
+	}
+	// le label values render without exponents for typical bounds.
+	if !strings.Contains(out, `le="0.25"`) || !strings.Contains(out, `le="1"`) {
+		t.Fatalf("le formatting drifted:\n%s", out)
+	}
+}

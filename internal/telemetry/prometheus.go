@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -17,20 +18,68 @@ var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4): HELP and TYPE lines followed by the sample, one
-// metric per block, sorted by name.
+// format (version 0.0.4): HELP and TYPE lines followed by the samples, one
+// metric per block. Scalar metrics and histograms interleave sorted by
+// name; histograms expose cumulative `_bucket{le="..."}` lines (closed by
+// le="+Inf"), `_sum`, and `_count`. All label values pass through
+// EscapeLabelValue, the single escaping path for every exporter.
 func WritePrometheus(w io.Writer, r *Registry) error {
-	for _, s := range r.Snapshot() {
+	scalars := r.Snapshot()
+	hists := r.HistSnapshot()
+	writeScalar := func(s Sample) error {
 		if s.Help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", s.Name, s.Type, s.Name, s.Value); err != nil {
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", s.Name, s.Type, s.Name, s.Value)
+		return err
+	}
+	writeHist := func(h HistSample) error {
+		if h.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
 			return err
 		}
+		for _, b := range h.Buckets {
+			le := EscapeLabelValue(formatLabelFloat(b.Upper))
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatLabelFloat(h.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+		return err
+	}
+	i, j := 0, 0
+	for i < len(scalars) || j < len(hists) {
+		if j >= len(hists) || (i < len(scalars) && scalars[i].Name < hists[j].Name) {
+			if err := writeScalar(scalars[i]); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if err := writeHist(hists[j]); err != nil {
+			return err
+		}
+		j++
 	}
 	return nil
+}
+
+// formatLabelFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, no exponent for typical bucket bounds.
+func formatLabelFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // PrometheusHandler serves the registry as a Prometheus scrape target —

@@ -91,9 +91,11 @@ func (m *Metric) Value() int64 {
 // existing name returns the same metric, which is how counters accumulate
 // across scenario runs sharing one registry (the gateway's /metrics view).
 type Registry struct {
-	mu     sync.Mutex
-	order  []*Metric
-	byName map[string]*Metric
+	mu        sync.Mutex
+	order     []*Metric
+	byName    map[string]*Metric
+	hists     map[string]*Histogram
+	histOrder []*Histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -123,6 +125,9 @@ func (r *Registry) metric(name, help string, typ MetricType) *Metric {
 			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v, was %v", name, typ, m.typ))
 		}
 		return m
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %v, was histogram", name, typ))
 	}
 	m := &Metric{name: name, help: help, typ: typ}
 	r.byName[name] = m
