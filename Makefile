@@ -22,12 +22,16 @@ test-log:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Tier-1 figure/table benchmarks plus the page-engine micro-benches, snapshotted
-# as machine-readable JSON (the CI perf artifact; see cmd/benchjson).
-BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|DisabledTimeline|PoolDensity|MemnodeOffload
+# Tier-1 figure/table benchmarks plus the page-engine and event-engine
+# micro-benches, snapshotted as machine-readable JSON (the CI perf artifact;
+# see cmd/benchjson). One run feeds three artifacts: the raw log
+# (bench_gate.txt, which records allocs/op for the regression gate), the JSON
+# snapshot, and a per-bench speedup table against the latest committed
+# BENCH_*.json printed to stderr.
+BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|DisabledTimeline|PoolDensity|MemnodeOffload|EngineSchedule|EngineTimerWheel
 bench-json:
-	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -o BENCH_2.json
-	@echo "wrote BENCH_2.json"
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -latest 'BENCH_*.json' -allocs-gate 10 -o BENCH_3.json
+	@echo "wrote BENCH_3.json (raw log with allocs/op: bench_gate.txt)"
 
 # Total statement coverage, gated against the committed baseline floor
 # (COVERAGE_BASELINE.txt, the seed repo's coverage; CI enforces the same).
@@ -42,6 +46,7 @@ cover:
 # live under each package's testdata/fuzz/ and replay in plain `go test`.
 FUZZTIME ?= 30s
 fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzEngineVsReference$$' -fuzztime=$(FUZZTIME) ./internal/simtime
 	$(GO) test -run='^$$' -fuzz='^FuzzDifferentialOps$$'  -fuzztime=$(FUZZTIME) ./internal/mglru
 	$(GO) test -run='^$$' -fuzz='^FuzzSpaceDifferential$$' -fuzztime=$(FUZZTIME) ./internal/pagemem
 	$(GO) test -run='^$$' -fuzz='^FuzzPlan$$'              -fuzztime=$(FUZZTIME) ./internal/faultinject
@@ -79,4 +84,4 @@ examples:
 	$(GO) run ./examples/attribution
 
 clean:
-	rm -rf results test_output.txt bench_output.txt bench_gate.txt coverage.out faasmem-trace.json faasmem-spans.json attrib_quick.txt timeline_quick.txt
+	rm -rf results test_output.txt bench_output.txt coverage.out faasmem-trace.json faasmem-spans.json attrib_quick.txt timeline_quick.txt

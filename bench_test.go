@@ -20,6 +20,7 @@ import (
 	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -276,6 +277,69 @@ func BenchmarkAblationPolicies(b *testing.B) {
 }
 
 // ---------------------------------------------------------------- fast path
+
+// benchRNG is a splitmix-style LCG so the engine microbenches draw the same
+// delay sequence every run without importing math/rand.
+type benchRNG uint64
+
+func (r *benchRNG) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// BenchmarkEngineSchedule measures the schedule+cancel path of the timer-wheel
+// event engine at a steady depth of 1e5 pending events: each iteration cancels
+// one in-flight event and schedules a replacement at a pseudorandom future
+// time, so the wheel stays full and the free-list pool absorbs every event.
+func BenchmarkEngineSchedule(b *testing.B) {
+	const pending = 100_000
+	e := simtime.NewEngine()
+	nop := func(*simtime.Engine) {}
+	rng := benchRNG(1)
+	at := func() simtime.Time { return e.Now() + simtime.Time(1+rng.next()%(1<<32)) }
+	handles := make([]simtime.Handle, pending)
+	for i := range handles {
+		handles[i] = e.At(at(), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := int(rng.next() % pending)
+		e.Cancel(handles[slot])
+		handles[slot] = e.At(at(), nop)
+	}
+	b.StopTimer()
+	if e.Pending() != pending {
+		b.Fatalf("pending = %d, want %d", e.Pending(), pending)
+	}
+}
+
+// BenchmarkEngineTimerWheel measures steady-state firing: 1e5 self-
+// rescheduling timers churn through the wheel, so every Step drains a slot,
+// fires one event, and re-places it — the cascade, bitmap scan, and pool
+// reuse paths all stay hot, exactly like a dense simulation mid-run.
+func BenchmarkEngineTimerWheel(b *testing.B) {
+	const pending = 100_000
+	e := simtime.NewEngine()
+	rng := benchRNG(99)
+	delay := func() simtime.Time { return simtime.Time(1 + rng.next()%(1<<22)) }
+	var tick simtime.Func
+	tick = func(e *simtime.Engine) { e.After(delay(), tick) }
+	for i := 0; i < pending; i++ {
+		e.At(delay(), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+	b.StopTimer()
+	if e.Pending() != pending {
+		b.Fatalf("pending = %d, want %d", e.Pending(), pending)
+	}
+}
 
 // BenchmarkBarrierInsert measures time-barrier insertion on the range-run
 // LRU: each iteration faults in a fresh 1 MB allocation and seals it, so the

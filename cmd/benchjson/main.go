@@ -6,11 +6,17 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | benchjson -o BENCH_2.json
-//	benchjson -o BENCH_2.json bench_output.txt
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_3.json
+//	benchjson -o BENCH_3.json bench_output.txt
 //
 // Lines that are not benchmark results (test chatter, PASS/ok trailers) are
 // ignored, so the full `go test` stream can be piped in unfiltered.
+//
+// With -latest GLOB the tool also loads the most recent committed snapshot
+// matching the glob (highest numeric suffix, the -o target excluded) and
+// prints a per-benchmark ns/op speedup table to stderr. -allocs-gate PCT
+// turns that comparison into a regression gate: the exit status is nonzero
+// if any benchmark's allocs/op grew more than PCT percent over the snapshot.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -55,6 +62,8 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	baseline := flag.String("baseline", "", "prior benchjson snapshot to embed and compute ns/op speedups against (missing file is skipped)")
+	latest := flag.String("latest", "", "glob of committed snapshots; compare against the highest-numbered match (excluding -o) and print per-bench speedups")
+	allocsGate := flag.Float64("allocs-gate", 0, "with -latest: exit nonzero if any benchmark's allocs/op regressed more than this percentage")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -93,6 +102,23 @@ func main() {
 		}
 	}
 
+	gateOK := true
+	if *latest != "" {
+		path, prior, err := loadLatest(*latest, *out)
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		case path == "":
+			fmt.Fprintf(os.Stderr, "benchjson: no snapshot matches %q, skipping comparison\n", *latest)
+		default:
+			printComparison(os.Stderr, path, prior, results)
+			if *allocsGate > 0 {
+				gateOK = checkAllocs(os.Stderr, path, prior, results, *allocsGate)
+			}
+		}
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -109,6 +135,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if !gateOK {
+		os.Exit(1)
+	}
+}
+
+// snapshotNum extracts the numeric suffix of BENCH_<n>.json-style names.
+var snapshotNum = regexp.MustCompile(`_(\d+)\.json$`)
+
+// loadLatest resolves the glob to the snapshot with the highest numeric
+// suffix, skipping the output target and files without a numeric suffix
+// (e.g. BENCH_BASELINE.json). It returns ("" , nil, nil) when nothing
+// matches, so a fresh checkout degrades to a plain conversion.
+func loadLatest(glob, exclude string) (string, []Result, error) {
+	matches, err := filepath.Glob(glob)
+	if err != nil {
+		return "", nil, fmt.Errorf("benchjson: bad -latest glob: %v", err)
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		if exclude != "" && filepath.Clean(m) == filepath.Clean(exclude) {
+			continue
+		}
+		sub := snapshotNum.FindStringSubmatch(m)
+		if sub == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(sub[1]); err == nil && n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", nil, nil
+	}
+	prior, err := loadBaseline(best)
+	if err != nil {
+		return "", nil, err
+	}
+	return best, prior, nil
+}
+
+// printComparison writes a per-benchmark ns/op speedup table versus the
+// prior snapshot (>1.00x means this run is faster).
+func printComparison(w io.Writer, path string, prior, cur []Result) {
+	priorBy := make(map[string]Result, len(prior))
+	for _, r := range prior {
+		priorBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "benchjson: vs %s (ns/op, speedup >1 is faster):\n", path)
+	for _, r := range cur {
+		p, ok := priorBy[r.Name]
+		if !ok || p.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-44s %14.0f -> %12.0f  %6.2fx\n",
+			r.Name, p.NsPerOp, r.NsPerOp, p.NsPerOp/r.NsPerOp)
+	}
+}
+
+// checkAllocs fails benchmarks whose allocs/op grew more than pct percent
+// over the prior snapshot. A small absolute slack (8 allocs) keeps tiny
+// deterministic counts — where a single extra allocation clears any
+// percentage bar — from tripping the gate.
+func checkAllocs(w io.Writer, path string, prior, cur []Result, pct float64) bool {
+	const slack = 8
+	priorBy := make(map[string]Result, len(prior))
+	for _, r := range prior {
+		priorBy[r.Name] = r
+	}
+	ok := true
+	for _, r := range cur {
+		p, found := priorBy[r.Name]
+		if !found {
+			continue
+		}
+		limit := p.AllocsOp * (1 + pct/100)
+		if r.AllocsOp > limit && r.AllocsOp > p.AllocsOp+slack {
+			fmt.Fprintf(w, "benchjson: ALLOCS REGRESSION %s: %.0f allocs/op vs %.0f in %s (>%.0f%% + %d)\n",
+				r.Name, r.AllocsOp, p.AllocsOp, path, pct, slack)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(w, "benchjson: allocs/op gate vs %s passed (threshold %.0f%%)\n", path, pct)
+	}
+	return ok
 }
 
 // loadBaseline reads a prior snapshot — either a Doc or a bare result list.

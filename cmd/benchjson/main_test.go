@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,6 +62,68 @@ func TestSpeedups(t *testing.T) {
 	}
 	if got := s["Fig1KeepAliveSweep"]; got < 3.0 || got > 3.6 {
 		t.Errorf("Fig1 speedup = %.2f, want ~3.29", got)
+	}
+}
+
+func TestLoadLatestPicksHighestNumber(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, res []Result) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(Doc{Benchmarks: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	write("BENCH_BASELINE.json", []Result{{Name: "A", NsPerOp: 1}})
+	write("BENCH_2.json", []Result{{Name: "A", NsPerOp: 2}})
+	write("BENCH_10.json", []Result{{Name: "A", NsPerOp: 10}})
+	out := write("BENCH_11.json", []Result{{Name: "A", NsPerOp: 11}})
+
+	// BENCH_11 is the -o target and must be skipped; BENCH_10 beats BENCH_2
+	// numerically even though it sorts earlier lexicographically, and the
+	// baseline has no numeric suffix so it never wins.
+	path, prior, err := loadLatest(filepath.Join(dir, "BENCH_*.json"), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_10.json" {
+		t.Fatalf("picked %s, want BENCH_10.json", path)
+	}
+	if len(prior) != 1 || prior[0].NsPerOp != 10 {
+		t.Fatalf("prior = %+v, want the BENCH_10 results", prior)
+	}
+
+	path, _, err = loadLatest(filepath.Join(dir, "NOPE_*.json"), "")
+	if err != nil || path != "" {
+		t.Fatalf("empty glob: path=%q err=%v, want no match and no error", path, err)
+	}
+}
+
+func TestCheckAllocs(t *testing.T) {
+	prior := []Result{
+		{Name: "Big", AllocsOp: 1000},
+		{Name: "Tiny", AllocsOp: 4},
+		{Name: "Gone", AllocsOp: 50},
+	}
+	var buf bytes.Buffer
+	// 25% over on a large count trips the 10% gate.
+	if checkAllocs(&buf, "x.json", prior, []Result{{Name: "Big", AllocsOp: 1250}}, 10) {
+		t.Errorf("25%% regression on 1000 allocs passed the 10%% gate:\n%s", buf.String())
+	}
+	// A single extra allocation on a tiny count is inside the absolute slack.
+	if !checkAllocs(&buf, "x.json", prior, []Result{{Name: "Tiny", AllocsOp: 5}}, 10) {
+		t.Errorf("4 -> 5 allocs tripped the gate despite the slack:\n%s", buf.String())
+	}
+	// Improvements and benchmarks absent from the snapshot pass.
+	if !checkAllocs(&buf, "x.json", prior, []Result{
+		{Name: "Big", AllocsOp: 100},
+		{Name: "New", AllocsOp: 1e6},
+	}, 10) {
+		t.Errorf("improvement + new benchmark tripped the gate:\n%s", buf.String())
 	}
 }
 

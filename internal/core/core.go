@@ -24,7 +24,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/faasmem/faasmem/internal/pagemem"
@@ -196,10 +196,29 @@ func (s *Stats) ContainerLifetimes() []time.Duration {
 
 type funcHistory struct {
 	intervals []time.Duration
-	override  time.Duration // explicit semi-warm timing, 0 if unset
+	// sorted mirrors intervals in ascending order so percentile queries are a
+	// single index instead of a copy+sort per idle transition. Every mutation
+	// of intervals updates it in place.
+	sorted   []time.Duration
+	override time.Duration // explicit semi-warm timing, 0 if unset
 	// coldStarts and reuses feed the cold-start-aware timing correction.
 	coldStarts int
 	reuses     int
+}
+
+// insertSorted adds d to the sorted mirror.
+func (h *funcHistory) insertSorted(d time.Duration) {
+	i, _ := slices.BinarySearch(h.sorted, d)
+	h.sorted = append(h.sorted, 0)
+	copy(h.sorted[i+1:], h.sorted[i:])
+	h.sorted[i] = d
+}
+
+// removeSorted drops one occurrence of d from the sorted mirror.
+func (h *funcHistory) removeSorted(d time.Duration) {
+	if i, ok := slices.BinarySearch(h.sorted, d); ok {
+		h.sorted = append(h.sorted[:i], h.sorted[i+1:]...)
+	}
 }
 
 // New builds a FaaSMem policy with defaults applied.
@@ -238,7 +257,10 @@ func (f *FaaSMem) SetSemiWarmTiming(fnID string, d time.Duration) {
 // history from an offline trace analysis.
 func (f *FaaSMem) SeedReuseIntervals(fnID string, intervals []time.Duration) {
 	h := f.history(fnID)
-	h.intervals = append(h.intervals, intervals...)
+	for _, d := range intervals {
+		h.intervals = append(h.intervals, d)
+		h.insertSorted(d)
+	}
 	f.trim(h)
 }
 
@@ -253,6 +275,9 @@ func (f *FaaSMem) history(fnID string) *funcHistory {
 
 func (f *FaaSMem) trim(h *funcHistory) {
 	if over := len(h.intervals) - f.cfg.HistoryLimit; over > 0 {
+		for _, d := range h.intervals[:over] {
+			h.removeSorted(d)
+		}
 		h.intervals = append(h.intervals[:0], h.intervals[over:]...)
 	}
 }
@@ -260,6 +285,7 @@ func (f *FaaSMem) trim(h *funcHistory) {
 func (f *FaaSMem) recordReuse(fnID string, idle time.Duration) {
 	h := f.history(fnID)
 	h.intervals = append(h.intervals, idle)
+	h.insertSorted(idle)
 	h.reuses++
 	f.trim(h)
 }
@@ -277,9 +303,7 @@ func (f *FaaSMem) semiWarmDelay(fnID string) time.Duration {
 	if len(h.intervals) < f.cfg.MinIntervalSamples {
 		return f.cfg.FallbackSemiWarmDelay
 	}
-	s := make([]time.Duration, len(h.intervals))
-	copy(s, h.intervals)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	s := h.sorted
 	idx := int(f.cfg.SemiWarmPercentile / 100 * float64(len(s)-1))
 	if idx >= len(s) {
 		idx = len(s) - 1
@@ -326,9 +350,13 @@ type container struct {
 	rollbackArmed bool
 	reqsSinceRB   int
 
+	// idBuf is the reusable victim-list scratch shared by every offload this
+	// container issues (single-threaded per engine).
+	idBuf []pagemem.PageID
+
 	// Semi-warm.
 	idleStart    simtime.Time
-	semiWarmEv   *simtime.Event
+	semiWarmEv   simtime.Handle
 	semiWarmTick *simtime.Ticker
 	semiWarm     bool
 	semiWarmTime time.Duration // accumulated semi-warm duration
@@ -378,7 +406,9 @@ func (c *container) RequestEnd(e *simtime.Engine) {
 // offloadRuntimePucket applies §5.1: everything still inactive in the
 // Runtime Pucket after the first request goes remote.
 func (c *container) offloadRuntimePucket(e *simtime.Engine) {
-	if c.runtimePucket().OffloadInactive(e, c.view) > 0 {
+	var n int
+	n, c.idBuf = c.runtimePucket().OffloadInactiveBuf(e, c.view, c.idBuf)
+	if n > 0 {
 		c.parent.stat.RuntimeOffloads++
 	}
 }
@@ -426,7 +456,9 @@ func (c *container) fixWindowAndOffload(e *simtime.Engine, n int) {
 		Actor: c.view.ID(), Fn: c.view.FunctionID(),
 		Stage: telemetry.StageInit, Value: int64(n),
 	})
-	if c.initPucket().OffloadInactive(e, c.view) > 0 {
+	var moved int
+	moved, c.idBuf = c.initPucket().OffloadInactiveBuf(e, c.view, c.idBuf)
+	if moved > 0 {
 		c.parent.stat.InitOffloads++
 	}
 	c.reqsSinceRB = 0
@@ -445,8 +477,8 @@ func (c *container) rollbackCycle(e *simtime.Engine, n int) {
 	if c.rollbackArmed {
 		if c.reqsSinceRB >= w {
 			// Re-evaluation window over: pages not re-promoted are cold.
-			c.runtimePucket().OffloadInactive(e, c.view)
-			c.initPucket().OffloadInactive(e, c.view)
+			_, c.idBuf = c.runtimePucket().OffloadInactiveBuf(e, c.view, c.idBuf)
+			_, c.idBuf = c.initPucket().OffloadInactiveBuf(e, c.view, c.idBuf)
 			c.rollbackArmed = false
 			c.reqsSinceRB = 0
 			c.lastRB = e.Now()
@@ -527,15 +559,16 @@ func (c *container) gradualOffload(e *simtime.Engine) {
 	if pages <= 0 {
 		return
 	}
-	var ids []pagemem.PageID
+	ids := c.idBuf[:0]
 	for _, st := range []pagemem.State{pagemem.Inactive, pagemem.Hot} {
 		for _, r := range []pagemem.Range{c.view.RuntimeRange(), c.view.InitRange()} {
 			if len(ids) >= pages {
 				break
 			}
-			ids = append(ids, policy.CollectPages(s, r, st, pages-len(ids))...)
+			ids = s.CollectInState(ids, r, st, pages)
 		}
 	}
+	c.idBuf = ids
 	if len(ids) == 0 {
 		c.stopTicker()
 		return
@@ -552,10 +585,8 @@ func (c *container) stopTicker() {
 
 // stopSemiWarm cancels pending/active semi-warm offloading at reuse time.
 func (c *container) stopSemiWarm(e *simtime.Engine) {
-	if c.semiWarmEv != nil {
-		e.Cancel(c.semiWarmEv)
-		c.semiWarmEv = nil
-	}
+	e.Cancel(c.semiWarmEv)
+	c.semiWarmEv = simtime.Handle{}
 	if c.semiWarm {
 		c.semiWarmTime += e.Now() - c.semiWarmFrom
 		c.semiWarm = false

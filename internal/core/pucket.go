@@ -40,9 +40,18 @@ func (p Pucket) RemotePages(s *pagemem.Space) int {
 // victim scan walks the Inactive bitset word-at-a-time, so a fully hot or
 // fully offloaded Pucket costs O(words).
 func (p Pucket) OffloadInactive(e *simtime.Engine, v policy.View) int {
-	ids := v.Space().CollectInState(nil, p.Seg, pagemem.Inactive, 0)
+	n, _ := p.OffloadInactiveBuf(e, v, nil)
+	return n
+}
+
+// OffloadInactiveBuf is OffloadInactive with a caller-owned scratch buffer:
+// the victim list is built in buf (reused, grown as needed) and the grown
+// buffer is returned for the next call, keeping steady-state Pucket offloads
+// allocation-free.
+func (p Pucket) OffloadInactiveBuf(e *simtime.Engine, v policy.View, buf []pagemem.PageID) (int, []pagemem.PageID) {
+	ids := v.Space().CollectInState(buf[:0], p.Seg, pagemem.Inactive, 0)
 	if len(ids) == 0 {
-		return 0
+		return 0, ids
 	}
 	moved := v.OffloadPages(e, ids)
 	if moved > 0 {
@@ -52,7 +61,7 @@ func (p Pucket) OffloadInactive(e *simtime.Engine, v policy.View) int {
 			Value: int64(moved), Aux: int64(p.Gen),
 		})
 	}
-	return moved
+	return moved, ids
 }
 
 // stage names the lifecycle segment this Pucket seals.

@@ -4,6 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/span"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 )
 
 // workerCount holds the scenario-level fan-out width; 0 means GOMAXPROCS.
@@ -34,6 +38,11 @@ func Workers() int {
 // index and must not touch other slots; post-processing (row assembly,
 // normalization against a baseline cell) stays with the caller, after the
 // barrier, so row order never depends on completion order.
+//
+// Workers claim chunks of adjacent indices from a shared cursor, guided
+// self-scheduling style: early claims take bigger chunks (amortizing the
+// atomic over cheap cells), late claims shrink toward single cells so a
+// straggler cell cannot leave the other workers idle behind a big chunk.
 func runGrid(n int, fn func(i int)) {
 	w := Workers()
 	if w > n {
@@ -52,21 +61,103 @@ func runGrid(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
+				claimed := int(next.Load())
+				if claimed >= n {
+					return
+				}
+				chunk := (n - claimed) / (2 * w)
+				if chunk < 1 {
+					chunk = 1
+				}
+				i := int(next.Add(int64(chunk))) - chunk
 				if i >= n {
 					return
 				}
-				fn(i)
+				end := i + chunk
+				if end > n {
+					end = n
+				}
+				for ; i < end; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 }
 
+// scenarioShard holds the private sinks one scenario records into while
+// running concurrently with its siblings.
+type scenarioShard struct {
+	tracer *telemetry.Tracer
+	spans  *span.Recorder
+	tl     *timeseries.Recorder
+}
+
+// shardScenario replaces any shared process-default sink the scenario would
+// record into with a freshly built private shard of the same capacity, and
+// returns the shard set (zero when the scenario carries its own sinks).
+func shardScenario(sc *Scenario) scenarioShard {
+	var sh scenarioShard
+	if !sc.Telemetry.Enabled() {
+		if def := telemetry.Default(); def.Enabled() {
+			h := def
+			if def.Tracer != nil {
+				sh.tracer = telemetry.NewTracer(def.Tracer.Cap())
+				h.Tracer = sh.tracer
+			}
+			// Registry counters are atomic and order-independent; the
+			// shared registry stays in place.
+			sc.Telemetry = h
+		}
+	}
+	if sc.Spans == nil {
+		if def := span.Default(); def != nil {
+			sh.spans = span.NewRecorder(def.Cap())
+			sc.Spans = sh.spans
+		}
+	}
+	if sc.Timeline == nil {
+		if def := timeseries.Default(); def != nil {
+			sh.tl = timeseries.NewRecorder(def.Config())
+			sc.Timeline = sh.tl
+		}
+	}
+	return sh
+}
+
+// merge folds the shard's sinks back into the process defaults.
+func (sh scenarioShard) merge() {
+	telemetry.Default().Tracer.MergeFrom(sh.tracer)
+	span.Default().MergeFrom(sh.spans)
+	timeseries.Default().MergeFrom(sh.tl)
+}
+
 // RunScenarios executes every scenario through RunScenario across the worker
-// pool and returns outcomes in input order.
+// pool and returns outcomes in input order. Scenarios that would record into
+// a shared process-default telemetry/span/timeline sink get a shard-local
+// sink each while running; after the barrier the shards fold back into the
+// shared sink in scenario-index order. Sharding applies at every width —
+// including serial — so stateful sink behavior (ring eviction, SLO burn
+// alarms, flight dumps) is evaluated per scenario and the retained contents
+// are identical for any worker count.
 func RunScenarios(scs []Scenario) []Outcome {
 	outs := make([]Outcome, len(scs))
-	runGrid(len(scs), func(i int) { outs[i] = RunScenario(scs[i]) })
+	if len(scs) <= 1 {
+		for i := range scs {
+			outs[i] = RunScenario(scs[i])
+		}
+		return outs
+	}
+	local := make([]Scenario, len(scs))
+	copy(local, scs)
+	shards := make([]scenarioShard, len(scs))
+	for i := range local {
+		shards[i] = shardScenario(&local[i])
+	}
+	runGrid(len(local), func(i int) { outs[i] = RunScenario(local[i]) })
+	for _, sh := range shards {
+		sh.merge()
+	}
 	return outs
 }

@@ -96,6 +96,22 @@ func PoolDensity(opt PoolDensityOptions) []PoolDensityRow {
 	}
 	modes := []PoolDensityMode{DensityOff, DensityDedup, DensityDedupZswap}
 
+	// Every cell runs the identical mixed workload; generate the invocation
+	// traces once and share the (read-only) schedules across cells.
+	type cellFn struct {
+		prof *workload.Profile
+		inv  []simtime.Time
+	}
+	var fns []cellFn
+	for i, prof := range workload.Profiles() {
+		fn := trace.GenerateFunction(prof.Name, opt.Duration,
+			time.Duration(3+i)*time.Second, true, opt.Seed+int64(i))
+		if len(fn.Invocations) == 0 {
+			continue
+		}
+		fns = append(fns, cellFn{prof: prof, inv: fn.Invocations})
+	}
+
 	run := func(dramMB int, mode PoolDensityMode) PoolDensityRow {
 		nodeCfg := memnode.Config{
 			DRAMBytes:          int64(dramMB) << 20,
@@ -115,15 +131,10 @@ func PoolDensity(opt PoolDensityOptions) []PoolDensityRow {
 		// The mixed workload: one function per benchmark, bursty arrivals so
 		// busy functions scale out to several concurrent containers (the
 		// dedup fan-in the paper's rack deployment would see).
-		for i, prof := range workload.Profiles() {
-			p := *prof
-			fn := trace.GenerateFunction(p.Name, opt.Duration,
-				time.Duration(3+i)*time.Second, true, opt.Seed+int64(i))
-			if len(fn.Invocations) == 0 {
-				continue
-			}
+		for _, f := range fns {
+			p := *f.prof
 			c.Register(p.Name, &p)
-			c.ScheduleInvocations(p.Name, fn.Invocations)
+			c.ScheduleInvocations(p.Name, f.inv)
 		}
 		e.RunUntil(opt.Duration + opt.KeepAlive + time.Minute)
 

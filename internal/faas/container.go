@@ -2,6 +2,7 @@ package faas
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -60,8 +61,13 @@ type Container struct {
 	idleSince      simtime.Time
 	launched       simtime.Time
 	loadedAt       simtime.Time // when the runtime finished loading
-	recycleEv      *simtime.Event
+	recycleEv      simtime.Handle
 	dead           bool
+	// offCand/offMoved are per-container scratch for OffloadPages victim
+	// selection, reused across calls to keep steady-state offloads
+	// allocation-free.
+	offCand  []pagemem.PageID
+	offMoved []pagemem.PageID
 }
 
 // launch creates a container; memory arrives as lifecycle stages complete.
@@ -151,7 +157,7 @@ func (c *Container) initDone(now simtime.Time) {
 func (c *Container) wake() {
 	c.idle = false
 	c.p.engine.Cancel(c.recycleEv)
-	c.recycleEv = nil
+	c.recycleEv = simtime.Handle{}
 }
 
 // execute runs one request to completion. arrival is when the request
@@ -263,23 +269,64 @@ func (c *Container) touchSpans(seg pagemem.Range, spans []workload.Span) (faults
 		if end > seg.End {
 			end = seg.End
 		}
-		for id := start; id < end; id++ {
-			switch c.space.Touch(id) {
+		if end <= start {
+			continue
+		}
+		f, ra := c.touchRange(seg, start, end, window)
+		faults += f
+		readahead += ra
+	}
+	return faults, readahead
+}
+
+// touchRange touches pages [start, end) word-at-a-time. Hot pages only need
+// their access bit, which TouchRange sets in bulk; words holding only
+// Inactive pages transition to Hot with masked word operations; only words
+// containing Remote pages fall back to the per-page fault + readahead walk.
+// The per-page recheck keeps the walk equivalent to the sequential loop:
+// readahead only converts pages at higher IDs, so a fresh state read per
+// word (and per page on the slow path) observes exactly what a sequential
+// walk would.
+func (c *Container) touchRange(seg pagemem.Range, start, end pagemem.PageID, window int) (faults, readahead int) {
+	sp := c.space
+	sp.TouchRange(pagemem.Range{Start: start, End: end})
+	w0, w1 := int(start)/64, (int(end)+63)/64
+	for w := w0; w < w1; w++ {
+		mask := ^uint64(0)
+		if base := w * 64; base < int(start) {
+			mask &= ^uint64(0) << (uint(start) % 64)
+		}
+		if int(end) < (w+1)*64 {
+			mask &= ^uint64(0) >> (64 - uint(end)%64)
+		}
+		rem := sp.StateWord(w, pagemem.Remote) & mask
+		inact := sp.StateWord(w, pagemem.Inactive) & mask
+		if rem == 0 {
+			if inact != 0 {
+				sp.TransitionMasked(w, inact, pagemem.Inactive, pagemem.Hot)
+				c.lru.PromoteMasked(pagemem.PageID(w*64), inact)
+			}
+			continue
+		}
+		for word := rem | inact; word != 0; {
+			id := pagemem.PageID(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+			switch sp.State(id) {
 			case pagemem.Remote:
 				faults++
-				c.space.SetState(id, pagemem.Hot)
+				sp.SetState(id, pagemem.Hot)
 				c.lru.Promote(id)
 				for ra := 0; ra < window; ra++ {
 					next := id + 1 + pagemem.PageID(ra)
-					if next >= seg.End || c.space.State(next) != pagemem.Remote {
+					if next >= seg.End || sp.State(next) != pagemem.Remote {
 						break
 					}
 					readahead++
-					c.space.SetState(next, pagemem.Hot)
+					sp.SetState(next, pagemem.Hot)
 					c.lru.Promote(next)
 				}
 			case pagemem.Inactive:
-				c.space.SetState(id, pagemem.Hot)
+				sp.SetState(id, pagemem.Hot)
 				c.lru.Promote(id)
 			}
 		}
@@ -612,7 +659,7 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 	max = c.p.swap.Allocate(max)
 	// Select offloadable candidates and describe them by lifecycle class;
 	// the pool (and its memory node, when attached) admits per class.
-	cand := make([]pagemem.PageID, 0, max)
+	cand := c.offCand[:0]
 	var counts rmem.ClassCounts
 	for _, id := range ids {
 		if len(cand) >= max {
@@ -625,6 +672,7 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		cand = append(cand, id)
 		counts[c.classOf(id)]++
 	}
+	c.offCand = cand
 	if len(cand) == 0 {
 		c.p.swap.Release(max)
 		return 0
@@ -636,7 +684,7 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		c.p.swap.Release(max)
 		return 0
 	}
-	moved := make([]pagemem.PageID, 0, accepted.Total())
+	moved := c.offMoved[:0]
 	rem := accepted
 	for _, id := range cand {
 		cls := c.classOf(id)
@@ -647,6 +695,7 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		c.space.SetState(id, pagemem.Remote)
 		moved = append(moved, id)
 	}
+	c.offMoved = moved
 	if len(moved) < max {
 		// Return the slots we claimed but did not fill (state-filtered
 		// candidates plus node-rejected pages).

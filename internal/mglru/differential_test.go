@@ -1,6 +1,7 @@
 package mglru
 
 import (
+	"math/bits"
 	"math/rand"
 	"testing"
 
@@ -106,11 +107,19 @@ func (p *diffPair) step(op, a, b byte) {
 		id := pagemem.PageID((int(a)<<8 | int(b)) % (p.slowSpc.NumPages() + 5))
 		p.fast.Promote(id)
 		p.slow.Promote(id)
-	case 5, 6: // rollback path: demote to an arbitrary existing generation
+	case 5: // rollback path: demote to an arbitrary existing generation
 		id := pagemem.PageID((int(a)<<8 | int(b)) % (p.slowSpc.NumPages() + 5))
 		g := GenID(int(a) % p.slow.NumGenerations())
 		p.fast.Demote(id, g)
 		p.slow.Demote(id, g)
+	case 6: // bulk access path: masked word promote vs per-bit ascending
+		words := p.slowSpc.NumPages()/64 + 1
+		base := pagemem.PageID(int(a) % words * 64)
+		mask := uint64(a) | uint64(b)<<8 | uint64(a)<<24 | uint64(b)<<48
+		p.fast.PromoteMasked(base, mask)
+		for rem := mask; rem != 0; rem &= rem - 1 {
+			p.slow.Promote(base + pagemem.PageID(bits.TrailingZeros64(rem)))
+		}
 	}
 }
 

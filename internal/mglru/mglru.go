@@ -18,6 +18,7 @@ package mglru
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/faasmem/faasmem/internal/pagemem"
@@ -169,13 +170,19 @@ func (l *LRU) genOf(id pagemem.PageID) GenID {
 // baseGen returns the generation of the run containing id (id must be
 // tracked).
 func (l *LRU) baseGen(id pagemem.PageID) GenID {
+	return l.runs[l.runIndex(id)].gen
+}
+
+// runIndex resolves the index of the run containing id (id must be tracked),
+// serving from the sequential-walk cache when possible.
+func (l *LRU) runIndex(id pagemem.PageID) int {
 	if i := l.lastRun; i < len(l.runs) && l.runs[i].start <= id &&
 		(i+1 == len(l.runs) || id < l.runs[i+1].start) {
-		return l.runs[i].gen
+		return i
 	}
 	i := sort.Search(len(l.runs), func(j int) bool { return l.runs[j].start > id }) - 1
 	l.lastRun = i
-	return l.runs[i].gen
+	return i
 }
 
 // runEnd returns the exclusive end of run ri.
@@ -190,6 +197,55 @@ func (l *LRU) runEnd(ri int) pagemem.PageID {
 // a no-op for unmonitored pages.
 func (l *LRU) Promote(id pagemem.PageID) {
 	l.moveTo(id, l.Youngest())
+}
+
+// PromoteMasked promotes to the youngest generation every page in the
+// 64-page word starting at base whose mask bit is set. base must be
+// 64-aligned. It is semantically identical to calling Promote for each set
+// bit in ascending order, but exception-free pages of a single run move with
+// word-level bit operations — the fast path behind bulk span touches.
+func (l *LRU) PromoteMasked(base pagemem.PageID, mask uint64) {
+	if mask == 0 || int(base) >= l.tracked {
+		return
+	}
+	if rem := l.tracked - int(base); rem < 64 {
+		mask &= ^uint64(0) >> (64 - uint(rem))
+		if mask == 0 {
+			return
+		}
+	}
+	young := l.Youngest()
+	w := int(base) / 64
+	for mask != 0 {
+		id := base + pagemem.PageID(bits.TrailingZeros64(mask))
+		ri := l.runIndex(id)
+		span := mask
+		if end := l.runEnd(ri); int(end) < int(base)+64 {
+			span &= 1<<uint(int(end)-int(base)) - 1
+		}
+		mask &^= span
+		g := l.runs[ri].gen
+		if g == NoGen {
+			continue
+		}
+		excw := l.excAny.WordAt(w) & span
+		if plain := span &^ excw; plain != 0 && g != young {
+			k := bits.OnesCount64(plain)
+			l.count[g] -= k
+			l.count[young] += k
+			if l.exc[young] == nil {
+				l.exc[young] = &pagemem.Bitset{}
+			}
+			l.exc[young].OrWordAt(w, plain)
+			l.excAny.OrWordAt(w, plain)
+			l.promotions += uint64(k)
+		}
+		for rem := excw; rem != 0; {
+			t := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			l.moveTo(base+pagemem.PageID(t), young)
+		}
+	}
 }
 
 // Demote returns page id to generation g — the rollback path of FaaSMem's

@@ -11,16 +11,26 @@ type Bitset struct {
 
 // grow ensures capacity for bit i.
 func (b *Bitset) grow(i int) {
-	need := i/64 + 1
-	for len(b.words) < need {
-		b.words = append(b.words, 0)
+	if need := i/64 + 1; len(b.words) < need {
+		b.words = append(b.words, make([]uint64, need-len(b.words))...)
+	}
+}
+
+// Grow ensures the bitset addresses bits [0, n) without further allocation,
+// so hot-path Set calls stay on the in-capacity fast path.
+func (b *Bitset) Grow(n int) {
+	if n > 0 {
+		b.grow(n - 1)
 	}
 }
 
 // Set sets bit i.
 func (b *Bitset) Set(i int) {
-	b.grow(i)
-	b.words[i/64] |= 1 << (uint(i) % 64)
+	w := i / 64
+	if w >= len(b.words) {
+		b.grow(i)
+	}
+	b.words[w] |= 1 << (uint(i) % 64)
 }
 
 // Clear clears bit i (no-op beyond current capacity).
@@ -106,6 +116,22 @@ func (b *Bitset) word(w int) uint64 {
 		return b.words[w]
 	}
 	return 0
+}
+
+// WordAt returns the word covering bits [w*64, w*64+64), zero beyond the
+// current capacity — the word-at-a-time read the bulk page paths build on.
+func (b *Bitset) WordAt(w int) uint64 { return b.word(w) }
+
+// OrWordAt ORs mask into the word covering bits [w*64, w*64+64), growing as
+// needed.
+func (b *Bitset) OrWordAt(w int, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	if w >= len(b.words) {
+		b.grow(w*64 + 63)
+	}
+	b.words[w] |= mask
 }
 
 // ForEachSet calls fn for every set bit in [start, end), skipping zero words

@@ -11,6 +11,8 @@ package pagemem
 import (
 	"fmt"
 	"math/bits"
+	"slices"
+	"sort"
 )
 
 // DefaultPageSize is the page size used throughout the simulation, matching
@@ -108,7 +110,45 @@ type Space struct {
 	stateBits [numStates]Bitset
 	// counts[seg][state] tracks pages per segment and state.
 	counts [NumSegments][numStates]int
+	// segRuns records the contiguous allocation runs sharing a segment (the
+	// seg slice is piecewise constant by construction), so bulk range ops can
+	// prove in O(1) that a whole word shares one segment and update counters
+	// per word instead of per page. lastSegRun caches the most recent hit.
+	segRuns    []segRun
+	lastSegRun int
 }
+
+// segRun is a maximal range of pages allocated to one segment; its end is
+// the next run's start (or the allocated page count for the final run).
+type segRun struct {
+	start int
+	seg   Segment
+}
+
+// uniformSeg reports whether pages [first, last] all belong to one segment,
+// and which.
+func (s *Space) uniformSeg(first, last int) (Segment, bool) {
+	i := s.lastSegRun
+	if i >= len(s.segRuns) || s.segRuns[i].start > first ||
+		(i+1 < len(s.segRuns) && s.segRuns[i+1].start <= first) {
+		i = sort.Search(len(s.segRuns), func(j int) bool { return s.segRuns[j].start > first }) - 1
+		s.lastSegRun = i
+	}
+	if i+1 < len(s.segRuns) && s.segRuns[i+1].start <= last {
+		return 0, false
+	}
+	return s.segRuns[i].seg, true
+}
+
+// stateFills[st] is a word-sized run of st, for bulk state-slice fills.
+var stateFills = func() (f [numStates][64]State) {
+	for st := range f {
+		for i := range f[st] {
+			f[st][i] = State(st)
+		}
+	}
+	return
+}()
 
 // NewSpace returns an empty address space with the given page size in bytes.
 // pageSize must be positive; use DefaultPageSize unless a test needs tiny
@@ -136,12 +176,24 @@ func (s *Space) Alloc(seg Segment, n int) Range {
 		panic("pagemem: negative allocation")
 	}
 	start := PageID(len(s.state))
-	for i := 0; i < n; i++ {
-		s.state = append(s.state, Inactive)
-		s.seg = append(s.seg, seg)
+	total := len(s.state) + n
+	if k := len(s.segRuns); n > 0 && (k == 0 || s.segRuns[k-1].seg != seg) {
+		s.segRuns = append(s.segRuns, segRun{start: int(start), seg: seg})
 	}
-	s.accessed.SetRange(int(start), int(start)+n)
-	s.stateBits[Inactive].SetRange(int(start), int(start)+n)
+	s.state = slices.Grow(s.state, n)[:total]
+	s.seg = slices.Grow(s.seg, n)[:total]
+	for i := int(start); i < total; i++ {
+		s.state[i] = Inactive
+		s.seg[i] = seg
+	}
+	// Pre-grow every bitset to the new page count so hot-path Set/Clear
+	// calls never hit the grow check's slow path.
+	s.accessed.Grow(total)
+	for st := range s.stateBits {
+		s.stateBits[st].Grow(total)
+	}
+	s.accessed.SetRange(int(start), total)
+	s.stateBits[Inactive].SetRange(int(start), total)
 	s.counts[seg][Inactive] += n
 	return Range{Start: start, End: start + PageID(n)}
 }
@@ -156,36 +208,100 @@ func (s *Space) AllocBytes(seg Segment, bytes int64) Range {
 	return s.Alloc(seg, n)
 }
 
+// clampRange narrows [start, end) to the allocated page span and reports
+// whether anything remains.
+func (s *Space) clampRange(r Range) (start, end int, ok bool) {
+	start, end = int(r.Start), int(r.End)
+	if end > len(s.state) {
+		end = len(s.state)
+	}
+	return start, end, end > start
+}
+
+// rangeMask returns the bitmask of range bits within word w.
+func rangeMask(w, start, end int) uint64 {
+	m := ^uint64(0)
+	if base := w * 64; base < start {
+		m &= ^uint64(0) << (uint(start) % 64)
+	}
+	if end < (w+1)*64 {
+		m &= ^uint64(0) >> (64 - uint(end)%64)
+	}
+	return m
+}
+
 // FreeRange releases every non-free page in r. Used when exec-segment
 // temporaries are reclaimed at request completion. Already-free pages are
 // skipped word-at-a-time, so re-freeing a mostly-free range is cheap.
 func (s *Space) FreeRange(r Range) {
-	for st := Inactive; st < numStates; st++ {
-		s.stateBits[st].ForEachSet(int(r.Start), int(r.End), func(i int) {
-			id := PageID(i)
-			s.counts[s.seg[id]][st]--
-			s.counts[s.seg[id]][Free]++
-			s.state[id] = Free
-			s.stateBits[Free].Set(i)
-		})
-		s.stateBits[st].ClearRange(int(r.Start), int(r.End))
+	start, end, ok := s.clampRange(r)
+	if !ok {
+		return
 	}
-	s.accessed.ClearRange(int(r.Start), int(r.End))
+	for w := start / 64; w < (end+63)/64; w++ {
+		mask := rangeMask(w, start, end)
+		for st := Inactive; st < numStates; st++ {
+			word := s.stateBits[st].words[w] & mask
+			if word == 0 {
+				continue
+			}
+			s.stateBits[st].words[w] &^= word
+			s.stateBits[Free].words[w] |= word
+			s.bulkRestate(w, word, st, Free)
+		}
+		s.accessed.words[w] &^= mask
+	}
+}
+
+// bulkRestate moves the pages of word (a bitmask within word index w) from
+// state st to state to, updating the state slice and segment counters. When
+// the whole word sits in one segment the counters move by popcount and a
+// full word's state bytes fill by copy; otherwise it falls back to per-page
+// updates.
+func (s *Space) bulkRestate(w int, word uint64, st, to State) {
+	base := w * 64
+	first := base + bits.TrailingZeros64(word)
+	last := base + 63 - bits.LeadingZeros64(word)
+	if seg, ok := s.uniformSeg(first, last); ok {
+		k := bits.OnesCount64(word)
+		s.counts[seg][st] -= k
+		s.counts[seg][to] += k
+		if word == ^uint64(0) {
+			copy(s.state[base:base+64], stateFills[to][:])
+			return
+		}
+		for ; word != 0; word &= word - 1 {
+			s.state[base+bits.TrailingZeros64(word)] = to
+		}
+		return
+	}
+	for ; word != 0; word &= word - 1 {
+		id := base + bits.TrailingZeros64(word)
+		seg := s.seg[id]
+		s.counts[seg][st]--
+		s.counts[seg][to]++
+		s.state[id] = to
+	}
 }
 
 // ReuseRange reactivates every Free page in r back to Inactive with a set
 // access bit — the allocation path for exec-segment temporaries, which reuse
 // the same page slots on every request instead of growing the space.
 func (s *Space) ReuseRange(r Range) {
-	s.stateBits[Free].ForEachSet(int(r.Start), int(r.End), func(i int) {
-		id := PageID(i)
-		s.counts[s.seg[id]][Free]--
-		s.counts[s.seg[id]][Inactive]++
-		s.state[id] = Inactive
-		s.stateBits[Inactive].Set(i)
-		s.accessed.Set(i)
-	})
-	s.stateBits[Free].ClearRange(int(r.Start), int(r.End))
+	start, end, ok := s.clampRange(r)
+	if !ok {
+		return
+	}
+	for w := start / 64; w < (end+63)/64; w++ {
+		word := s.stateBits[Free].words[w] & rangeMask(w, start, end)
+		if word == 0 {
+			continue
+		}
+		s.stateBits[Free].words[w] &^= word
+		s.stateBits[Inactive].words[w] |= word
+		s.accessed.words[w] |= word
+		s.bulkRestate(w, word, Free, Inactive)
+	}
 }
 
 // State returns the state of page id.
@@ -224,20 +340,31 @@ func (s *Space) TransitionRange(r Range, from, to State, fn func(PageID)) int {
 	if from == to {
 		return 0
 	}
+	start, end, ok := s.clampRange(r)
+	if !ok {
+		return 0
+	}
 	moved := 0
-	s.stateBits[from].ForEachSet(int(r.Start), int(r.End), func(i int) {
-		id := PageID(i)
-		seg := s.seg[id]
-		s.counts[seg][from]--
-		s.counts[seg][to]++
-		s.state[id] = to
-		s.stateBits[to].Set(i)
-		moved++
-		if fn != nil {
-			fn(id)
+	for w := start / 64; w < (end+63)/64; w++ {
+		word := s.stateBits[from].words[w] & rangeMask(w, start, end)
+		if word == 0 {
+			continue
 		}
-	})
-	s.stateBits[from].ClearRange(int(r.Start), int(r.End))
+		s.stateBits[from].words[w] &^= word
+		s.stateBits[to].words[w] |= word
+		moved += bits.OnesCount64(word)
+		for rem := word; rem != 0; {
+			id := w*64 + bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			seg := s.seg[id]
+			s.counts[seg][from]--
+			s.counts[seg][to]++
+			s.state[id] = to
+			if fn != nil {
+				fn(PageID(id))
+			}
+		}
+	}
 	return moved
 }
 
@@ -281,10 +408,20 @@ func (s *Space) forEachUnion(a, b *Bitset, start, end int, fn func(int) bool) {
 // to dst and returns it — the word-at-a-time victim scan behind offload
 // collection.
 func (s *Space) CollectInState(dst []PageID, r Range, st State, max int) []PageID {
-	s.forEachUnion(&s.stateBits[st], nil, int(r.Start), int(r.End), func(i int) bool {
-		dst = append(dst, PageID(i))
-		return max <= 0 || len(dst) < max
-	})
+	start, end, ok := s.clampRange(r)
+	if !ok {
+		return dst
+	}
+	for w := start / 64; w < (end+63)/64; w++ {
+		word := s.stateBits[st].words[w] & rangeMask(w, start, end)
+		for word != 0 {
+			dst = append(dst, PageID(w*64+bits.TrailingZeros64(word)))
+			word &= word - 1
+			if max > 0 && len(dst) >= max {
+				return dst
+			}
+		}
+	}
 	return dst
 }
 
@@ -312,6 +449,42 @@ func (s *Space) CollectLocal(dst []PageID, r Range, max int) []PageID {
 func (s *Space) Touch(id PageID) State {
 	s.accessed.Set(int(id))
 	return s.state[id]
+}
+
+// TouchRange sets the access bits of every page in r in bulk — the fast path
+// for request spans, which touch contiguous page runs.
+func (s *Space) TouchRange(r Range) {
+	if start, end, ok := s.clampRange(r); ok {
+		s.accessed.SetRange(start, end)
+	}
+}
+
+// StateWord returns the 64-page occupancy mask of state st covering pages
+// [w*64, w*64+64). Together with TransitionMasked it lets hot loops (the
+// request touch path) move whole words of pages without per-page calls.
+func (s *Space) StateWord(w int, st State) uint64 { return s.stateBits[st].word(w) }
+
+// TransitionMasked moves every page in the 64-page word w whose mask bit is
+// set from state `from` to state `to`. Every masked page must currently be in
+// state `from` (callers derive mask from StateWord). Free is not a valid
+// endpoint, mirroring TransitionRange.
+func (s *Space) TransitionMasked(w int, mask uint64, from, to State) {
+	if mask == 0 {
+		return
+	}
+	if from == Free || to == Free {
+		panic("pagemem: TransitionMasked cannot move pages into or out of Free")
+	}
+	s.stateBits[from].words[w] &^= mask
+	s.stateBits[to].words[w] |= mask
+	for rem := mask; rem != 0; {
+		id := w*64 + bits.TrailingZeros64(rem)
+		rem &= rem - 1
+		seg := s.seg[id]
+		s.counts[seg][from]--
+		s.counts[seg][to]++
+		s.state[id] = to
+	}
 }
 
 // Accessed reports the access bit of page id without clearing it.

@@ -117,7 +117,7 @@ func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
 	ev := e.At(time.Second, func(*Engine) {})
 	e.Cancel(ev)
 	e.Cancel(ev) // second cancel must not panic
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 	e.Run()
 }
 
@@ -284,7 +284,7 @@ func TestDeterminism(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	evs := make([]*Event, 10)
+	evs := make([]Handle, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.At(Time(i)*time.Second, func(*Engine) { fired = append(fired, i) })

@@ -370,6 +370,42 @@ func (r *Recorder) Backgrounds() []Background {
 	return out
 }
 
+// Cap returns the invocation-ring capacity (0 on nil), so a shard recorder
+// can be sized like the sink it will merge into.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.invs)
+}
+
+// MergeFrom appends src's retained invocations and background spans to r in
+// their recorded order and carries src's drop counts over, so shard
+// recorders folded back into a shared sink in a fixed order yield the same
+// rings a serial run would. No-op when either side is nil or both are the
+// same recorder.
+func (r *Recorder) MergeFrom(src *Recorder) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	droppedInvs := src.Dropped()
+	src.mu.Lock()
+	droppedBG := src.bgTotal - uint64(len(src.bg))
+	src.mu.Unlock()
+	for _, inv := range src.Invocations() {
+		r.Record(inv)
+	}
+	for _, bg := range src.Backgrounds() {
+		r.RecordBackground(bg)
+	}
+	if droppedInvs > 0 || droppedBG > 0 {
+		r.mu.Lock()
+		r.total += droppedInvs
+		r.bgTotal += droppedBG
+		r.mu.Unlock()
+	}
+}
+
 // Reset drops all held spans and counters, keeping capacity.
 func (r *Recorder) Reset() {
 	if r == nil {

@@ -307,6 +307,34 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// Cap returns the ring capacity (0 on nil), so a shard tracer can be sized
+// like the sink it will merge into.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
+}
+
+// MergeFrom appends src's retained events to t in their recorded order and
+// carries src's drop count over, so shard tracers folded back into a shared
+// sink in a fixed order yield the same ring a serial run would. No-op when
+// either side is nil or both are the same tracer.
+func (t *Tracer) MergeFrom(src *Tracer) {
+	if t == nil || src == nil || t == src {
+		return
+	}
+	dropped := src.Dropped()
+	for _, ev := range src.Events() {
+		t.Record(ev)
+	}
+	if dropped > 0 {
+		t.mu.Lock()
+		t.total += dropped
+		t.mu.Unlock()
+	}
+}
+
 // Reset drops all held events and the drop counter, keeping the capacity.
 func (t *Tracer) Reset() {
 	if t == nil {

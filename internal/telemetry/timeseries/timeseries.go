@@ -573,6 +573,88 @@ func (r *Recorder) FlightTotal() uint64 {
 	return r.fTotal
 }
 
+// Config returns the recorder's effective configuration, so a shard
+// recorder can be built with the same windowing as the sink it will merge
+// into.
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}.withDefaults()
+	}
+	return r.cfg
+}
+
+// MergeFrom folds src's rollups, flight events, and dumps into r: series
+// points merge additively per (series, window) cell, gauge "last" values
+// take src's (the later run in merge order), and flight events append in
+// src's retained order. Shard recorders folded back into a shared sink in a
+// fixed order therefore yield the same state a serial run would. No-op when
+// either side is nil or both are the same recorder.
+func (r *Recorder) MergeFrom(src *Recorder) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, sd := range src.series {
+		dst := r.series[k]
+		if dst == nil {
+			dst = &seriesData{kind: sd.kind, points: make(map[int64]*point), lastWin: -1 << 62}
+			r.series[k] = dst
+		}
+		for win, p := range sd.points {
+			dp := dst.points[win]
+			if dp == nil {
+				dp = &point{}
+				dst.points[win] = dp
+			}
+			if p.count == 0 {
+				continue
+			}
+			if dp.count == 0 || p.min < dp.min {
+				dp.min = p.min
+			}
+			if dp.count == 0 || p.max > dp.max {
+				dp.max = p.max
+			}
+			dp.count += p.count
+			dp.sum += p.sum
+			dp.last = p.last
+			if p.buckets != nil {
+				if dp.buckets == nil {
+					dp.buckets = new([nBuckets]int64)
+				}
+				for b, n := range p.buckets {
+					dp.buckets[b] += n
+				}
+			}
+		}
+	}
+	var retained int
+	mergeFlight := func(evs []FlightEvent) {
+		for _, ev := range evs {
+			r.record(ev)
+		}
+		retained += len(evs)
+	}
+	if len(src.flight) == cap(src.flight) && cap(src.flight) > 0 {
+		mergeFlight(src.flight[src.fNext:])
+		mergeFlight(src.flight[:src.fNext])
+	} else {
+		mergeFlight(src.flight)
+	}
+	r.fTotal += src.fTotal - uint64(retained) // record() counted the retained ones
+	for _, d := range src.dumps {
+		if len(r.dumps) >= r.cfg.MaxDumps {
+			r.dumpsDropped++
+			continue
+		}
+		r.dumps = append(r.dumps, d)
+	}
+	r.dumpsDropped += src.dumpsDropped
+}
+
 // Reset drops all series, flight events, dumps, and alarm state, keeping
 // configuration and armed fault starts that have not yet crossed.
 func (r *Recorder) Reset() {
