@@ -21,6 +21,7 @@ import (
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
 	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -484,6 +485,42 @@ func BenchmarkDisabledTimeline(b *testing.B) {
 					SeedHistory: true,
 					Seed:        11,
 					Timeline:    cfg.make(),
+				})
+				if out.Requests == 0 {
+					b.Fatal("no requests")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDisabledExemplars is BenchmarkDisabledTimeline for the
+// tail-exemplar recorder: with no recorder attached the completion path pays
+// one nil check and never builds span trees, so the run must match
+// pre-exemplar builds; the enabled case bounds what -exemplars costs
+// (bounded worst-K retention per window cell).
+func BenchmarkDisabledExemplars(b *testing.B) {
+	prof := workload.ByName("json")
+	inv := experiments.HighLoadInvocations(6*time.Minute, 11)
+	for _, cfg := range []struct {
+		name string
+		make func() *exemplar.Recorder
+	}{
+		{"disabled", func() *exemplar.Recorder { return nil }},
+		{"enabled", func() *exemplar.Recorder { return exemplar.NewRecorder(exemplar.Config{}) }},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := experiments.RunScenario(experiments.Scenario{
+					Profile:     prof,
+					Invocations: inv,
+					Duration:    6 * time.Minute,
+					Policy:      experiments.FaaSMem,
+					CoreConfig:  core.Config{},
+					SeedHistory: true,
+					Seed:        11,
+					Exemplars:   cfg.make(),
 				})
 				if out.Requests == 0 {
 					b.Fatal("no requests")

@@ -30,8 +30,10 @@ import (
 	"sync"
 	"time"
 
+	"github.com/faasmem/faasmem/internal/drilldown"
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 )
@@ -44,7 +46,7 @@ type job struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience,ext-observe")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience,ext-observe,ext-drilldown")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
@@ -58,6 +60,8 @@ func main() {
 	attrib := flag.Bool("attrib", false, "record causal spans across every harness and print one latency-attribution table at the end; most useful with -only naming a single experiment")
 	timelineOut := flag.String("timeline", "", "record per-window time-series rollups across every harness and write the timeline table to this file ('-' for stdout); most useful with -only naming a single experiment")
 	timelineWindow := flag.Duration("timeline-window", 10*time.Second, "rollup window for -timeline (virtual time)")
+	exemplarsOut := flag.String("exemplars", "", "retain worst-K span trees per window across every harness and write the exemplar digest to this file ('-' for stdout); most useful with -only naming a single experiment")
+	exemplarK := flag.Int("exemplar-k", exemplar.DefaultK, "worst-K retention depth for -exemplars")
 	flag.Parse()
 
 	experiments.SetWorkers(*scenarioWorkers)
@@ -120,6 +124,13 @@ func main() {
 	if *timelineOut != "" {
 		timeline = timeseries.NewRecorder(timeseries.Config{Window: *timelineWindow})
 		timeseries.SetDefault(timeline)
+	}
+	// And for exemplars: Scenario.Exemplars defaults to the process
+	// recorder, so one flag retains worst-K span trees across every figure.
+	var exemplars *exemplar.Recorder
+	if *exemplarsOut != "" {
+		exemplars = exemplar.NewRecorder(exemplar.Config{Window: *timelineWindow, K: *exemplarK})
+		exemplar.SetDefault(exemplars)
 	}
 
 	jobs := buildJobs(*seed, *quick, scale)
@@ -199,6 +210,20 @@ func main() {
 			out = f
 		}
 		if err := timeseries.WriteText(out, timeline); err != nil {
+			fatal(err)
+		}
+	}
+	if exemplars != nil {
+		out := io.Writer(os.Stdout)
+		if *exemplarsOut != "-" {
+			f, err := os.Create(*exemplarsOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := drilldown.WriteExemplarsText(out, exemplars.Cells()); err != nil {
 			fatal(err)
 		}
 	}
@@ -380,6 +405,16 @@ func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) ti
 				FaultSeed: seed,
 			})
 			experiments.PrintObserve(w, cells)
+			return cells, nil
+		}},
+		{"ext-drilldown", func(w io.Writer) (any, map[string]string) {
+			cells := experiments.Drilldown(experiments.DrilldownOptions{
+				Duration:  scale(10*time.Minute, 4*time.Minute),
+				KeepAlive: scale(8*time.Minute, 3*time.Minute),
+				Seed:      seed,
+				FaultSeed: seed,
+			})
+			experiments.PrintDrilldown(w, cells)
 			return cells, nil
 		}},
 	}

@@ -24,11 +24,13 @@ import (
 	"strings"
 	"time"
 
+	"github.com/faasmem/faasmem/internal/drilldown"
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/report"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -51,7 +53,9 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", telemetry.DefaultCapacity, "event ring capacity; oldest events drop beyond this")
 	attrib := flag.Bool("attrib", false, "record causal spans and print a per-phase latency attribution table after the run")
 	timeline := flag.Bool("timeline", false, "record per-window time-series rollups and print the timeline table after the run")
-	timelineWindow := flag.Duration("timeline-window", 10*time.Second, "rollup window for -timeline (virtual time)")
+	timelineWindow := flag.Duration("timeline-window", 10*time.Second, "rollup window for -timeline and -exemplars (virtual time)")
+	exemplars := flag.Bool("exemplars", false, "retain worst-K span trees per window and print the tail-exemplar digest after the run")
+	exemplarK := flag.Int("exemplar-k", exemplar.DefaultK, "worst-K retention depth per (window, node, tenant) cell for -exemplars")
 	faultIntensity := flag.Float64("fault-intensity", 0, "arm a seed-driven fault plan at this intensity in [0, 1] (link flaps, pool crashes, tier storms, latency spikes); 0 runs fault-free")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the fault schedule; defaults to -seed")
 	attribOut := flag.String("attrib-out", "", "record causal spans and write them as Chrome trace-event JSON (nested duration events; implies span recording)")
@@ -178,6 +182,10 @@ func main() {
 	if *timeline {
 		tl = timeseries.NewRecorder(timeseries.Config{Window: *timelineWindow})
 	}
+	var exm *exemplar.Recorder
+	if *exemplars {
+		exm = exemplar.NewRecorder(exemplar.Config{Window: *timelineWindow, K: *exemplarK})
+	}
 	sc := experiments.Scenario{
 		Profile:     prof,
 		Invocations: fn.Invocations,
@@ -189,6 +197,7 @@ func main() {
 		Telemetry:   hub,
 		Spans:       spans,
 		Timeline:    tl,
+		Exemplars:   exm,
 	}
 	if *faultIntensity > 0 {
 		sc.Pool.Faults = faultinject.New(faultinject.Config{
@@ -259,6 +268,13 @@ func main() {
 	if tl != nil {
 		fmt.Println()
 		if err := timeseries.WriteText(os.Stdout, tl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if exm != nil {
+		fmt.Println()
+		if err := drilldown.WriteExemplarsText(os.Stdout, exm.Cells()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

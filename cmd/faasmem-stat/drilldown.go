@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/faasmem/faasmem/internal/drilldown"
+)
+
+// explainMain is `faasmem-stat explain <run.json>`: drill one window of a
+// captured run down to its flow-ledger slice and tail-exemplar critical
+// paths. Run files come from `faasmem-stat timeline -format json -o run.json`
+// (add -exemplars there to retain worst-K span trees).
+func explainMain(argv []string) {
+	fs := flag.NewFlagSet("faasmem-stat explain", flag.ExitOnError)
+	window := fs.Int64("window", -1, "window index to explain (-1 auto-picks the worst-P99 window)")
+	format := fs.String("format", "text", "output format: text or json")
+	outPath := fs.String("o", "", "write output to this file instead of stdout")
+	path, rest := splitRunArgs(argv, 1)
+	_ = fs.Parse(rest)
+	path = append(path, fs.Args()...)
+	if len(path) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: faasmem-stat explain [-window N] [-format text|json] <run.json>")
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	run, err := drilldown.ReadRun(path[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ex, err := drilldown.Explain(run, *window)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out := openOut(*outPath)
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(ex)
+	} else {
+		err = drilldown.WriteExplainText(out, ex)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// diffMain is `faasmem-stat diff <runA.json> <runB.json>`: align the two
+// runs' windows into a direction-aware regression report. Exit status is 1
+// when any regression was flagged, so CI can gate on determinism (identical
+// seeds must diff clean) and on latency movements.
+func diffMain(argv []string) {
+	fs := flag.NewFlagSet("faasmem-stat diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", drilldown.DefaultThreshold,
+		"relative worse-direction movement tolerated before flagging a regression")
+	format := fs.String("format", "text", "output format: text or json")
+	outPath := fs.String("o", "", "write output to this file instead of stdout")
+	paths, rest := splitRunArgs(argv, 2)
+	_ = fs.Parse(rest)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: faasmem-stat diff [-threshold F] [-format text|json] <baseline.json> <candidate.json>")
+		os.Exit(2)
+	}
+	a, err := drilldown.ReadRun(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b, err := drilldown.ReadRun(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := drilldown.Diff(a, b, *threshold)
+	out := openOut(*outPath)
+	if *format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(rep)
+	} else {
+		err = drilldown.WriteDiffText(out, rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// splitRunArgs peels up to max leading positional (non-flag) arguments off
+// argv so run paths may appear before the flags (`explain <run> -window W`)
+// as well as after them (trailing positionals come back via fs.Args()).
+func splitRunArgs(argv []string, max int) (paths, rest []string) {
+	i := 0
+	for ; i < len(argv) && len(paths) < max; i++ {
+		if argv[i] == "" || argv[i][0] == '-' {
+			break
+		}
+		paths = append(paths, argv[i])
+	}
+	return paths, argv[i:]
+}
+
+// openOut returns stdout or the -o file (exiting on error).
+func openOut(path string) io.Writer {
+	if path == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return f
+}

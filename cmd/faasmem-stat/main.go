@@ -20,6 +20,14 @@
 //	faasmem-stat timeline -bench web -window 10s                 # rollup table
 //	faasmem-stat timeline -quick -fault-intensity 1              # faulted, CI-sized
 //	faasmem-stat timeline -format svg -o timeline.svg            # memory chart
+//	faasmem-stat timeline -quick -exemplars -format json -o run.json  # run file
+//
+// The `explain` and `diff` subcommands analyze run files written by
+// `timeline -format json`:
+//
+//	faasmem-stat explain run.json                                # worst window
+//	faasmem-stat explain run.json -window 12                     # one window
+//	faasmem-stat diff base.json cand.json                        # regression report
 package main
 
 import (
@@ -39,9 +47,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "timeline" {
-		timelineMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "timeline":
+			timelineMain(os.Args[2:])
+			return
+		case "explain":
+			explainMain(os.Args[2:])
+			return
+		case "diff":
+			diffMain(os.Args[2:])
+			return
+		}
 	}
 	tracePath := flag.String("trace", "", "analyze a span trace file (Chrome trace-event JSON written by -attrib-out) instead of running a scenario")
 	bench := flag.String("bench", "web", "benchmark for a live run: "+strings.Join(workload.Names(), ", "))

@@ -107,7 +107,7 @@ func TestQuickAttributionGolden(t *testing.T) {
 // recorder dumped. CI regenerates the same table and diffs.
 func TestQuickTimelineGolden(t *testing.T) {
 	rec := runTimelineScenario(workload.ByName("web"), experiments.FaaSMem,
-		5*time.Minute, 5*time.Second, false, 10*time.Minute, 1, 10*time.Second, 1, 1)
+		5*time.Minute, 5*time.Second, false, 10*time.Minute, 1, 10*time.Second, 1, 1, nil)
 	var buf bytes.Buffer
 	if err := timeseries.WriteText(&buf, rec); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -8,9 +9,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/faasmem/faasmem/internal/drilldown"
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/report"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
 	"github.com/faasmem/faasmem/internal/workload"
@@ -33,6 +36,8 @@ func timelineMain(argv []string) {
 	window := fs.Duration("window", 10*time.Second, "rollup window (virtual time)")
 	faultIntensity := fs.Float64("fault-intensity", 0, "fault-plan intensity in [0, 1]; 0 runs fault-free")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-schedule seed (default: -seed)")
+	exemplars := fs.Bool("exemplars", false, "retain worst-K span trees per window (JSON output becomes a run file for explain/diff)")
+	exemplarK := fs.Int("exemplar-k", exemplar.DefaultK, "worst-K retention depth per (window, node, tenant) cell")
 	format := fs.String("format", "text", "output format: text, json, or svg")
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	_ = fs.Parse(argv)
@@ -65,8 +70,12 @@ func timelineMain(argv []string) {
 		*faultSeed = *seed
 	}
 
+	var exm *exemplar.Recorder
+	if *exemplars {
+		exm = exemplar.NewRecorder(exemplar.Config{Window: *window, K: *exemplarK})
+	}
 	rec := runTimelineScenario(prof, kind, *duration, *gap, *bursty, *keepAlive,
-		*seed, *window, *faultIntensity, *faultSeed)
+		*seed, *window, *faultIntensity, *faultSeed, exm)
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
@@ -82,8 +91,24 @@ func timelineMain(argv []string) {
 	switch *format {
 	case "text":
 		err = timeseries.WriteText(out, rec)
+		if err == nil && exm != nil {
+			if _, err = fmt.Fprintln(out); err == nil {
+				err = drilldown.WriteExemplarsText(out, exm.Cells())
+			}
+		}
 	case "json":
-		err = timeseries.WriteJSON(out, rec)
+		if exm != nil {
+			// Run-file envelope: timeline plus exemplars, the input shape
+			// of `faasmem-stat explain` / `faasmem-stat diff`.
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(drilldown.Run{
+				Timeline:  timeseries.TakeSnapshot(rec),
+				Exemplars: exm.Cells(),
+			})
+		} else {
+			err = timeseries.WriteJSON(out, rec)
+		}
 	case "svg":
 		_, err = io.WriteString(out, timelineSVG(rec))
 	}
@@ -97,7 +122,8 @@ func timelineMain(argv []string) {
 // attached and returns the populated recorder.
 func runTimelineScenario(prof *workload.Profile, kind experiments.PolicyKind,
 	duration, gap time.Duration, bursty bool, keepAlive time.Duration,
-	seed int64, window time.Duration, faultIntensity float64, faultSeed int64) *timeseries.Recorder {
+	seed int64, window time.Duration, faultIntensity float64, faultSeed int64,
+	exm *exemplar.Recorder) *timeseries.Recorder {
 	rec := timeseries.NewRecorder(timeseries.Config{Window: window})
 	fn := trace.GenerateFunction(prof.Name, duration, gap, bursty, seed)
 	sc := experiments.Scenario{
@@ -109,6 +135,7 @@ func runTimelineScenario(prof *workload.Profile, kind experiments.PolicyKind,
 		SeedHistory: true,
 		Seed:        seed,
 		Timeline:    rec,
+		Exemplars:   exm,
 	}
 	if faultIntensity > 0 {
 		sc.Pool.Faults = faultinject.New(faultinject.Config{

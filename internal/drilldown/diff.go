@@ -1,0 +1,150 @@
+package drilldown
+
+import (
+	"math"
+
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
+)
+
+// Diff aligns two runs window-by-window into a direction-aware regression
+// report: for each headline metric it knows which direction is worse
+// (latency and failure counters up, throughput down) and flags a regression
+// only when the worse-direction movement clears both a relative threshold
+// and an absolute floor — so identical-seed runs diff to zero and noise
+// below the floors stays quiet.
+
+// DefaultThreshold is the relative worse-direction movement (fraction of
+// the baseline value) Diff tolerates before flagging a regression.
+const DefaultThreshold = 0.10
+
+// diffMetric describes one compared metric.
+type diffMetric struct {
+	name string
+	get  func(timeseries.SummaryRow) float64
+	// higherWorse: true when an increase is a regression (latency,
+	// failures); false when a decrease is (throughput).
+	higherWorse bool
+	// floor is the absolute worse-direction movement ignored as noise.
+	floor float64
+}
+
+var diffMetrics = []diffMetric{
+	{"requests", func(r timeseries.SummaryRow) float64 { return float64(r.Requests) }, false, 2},
+	{"p99_ms", func(r timeseries.SummaryRow) float64 { return r.P99Ms }, true, 1},
+	{"retries", func(r timeseries.SummaryRow) float64 { return float64(r.Retries) }, true, 2},
+	{"timeouts", func(r timeseries.SummaryRow) float64 { return float64(r.Timeouts) }, true, 1},
+	{"fallback_pages", func(r timeseries.SummaryRow) float64 { return float64(r.FallbackPages) }, true, 8},
+	{"reinits", func(r timeseries.SummaryRow) float64 { return float64(r.Reinits) }, true, 1},
+}
+
+// MetricDelta is one metric's movement in one aligned window.
+type MetricDelta struct {
+	Metric string  `json:"metric"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	Delta  float64 `json:"delta"`
+	// Regression is true when the movement is in the worse direction past
+	// the threshold and floor.
+	Regression bool `json:"regression,omitempty"`
+}
+
+// WindowDiff is one aligned window's metric movements (only metrics that
+// moved are listed).
+type WindowDiff struct {
+	Window   int64         `json:"window"`
+	StartSec float64       `json:"start_sec"`
+	Deltas   []MetricDelta `json:"deltas"`
+}
+
+// FlowTotalDelta is one flow kind's whole-run byte movement between runs.
+type FlowTotalDelta struct {
+	Flow   string `json:"flow"`
+	ABytes int64  `json:"a_bytes"`
+	BBytes int64  `json:"b_bytes"`
+	Delta  int64  `json:"delta"`
+}
+
+// DiffReport is Diff's result.
+type DiffReport struct {
+	// WindowsA/WindowsB count each run's summary windows; Aligned how many
+	// window indices appear in both.
+	WindowsA int `json:"windows_a"`
+	WindowsB int `json:"windows_b"`
+	Aligned  int `json:"aligned"`
+	// Windows lists aligned windows where at least one metric moved.
+	Windows []WindowDiff `json:"windows,omitempty"`
+	// FlowTotals lists flow kinds whose whole-run totals differ.
+	FlowTotals []FlowTotalDelta `json:"flow_totals,omitempty"`
+	// Regressions counts flagged metric movements across all windows.
+	Regressions int `json:"regressions"`
+}
+
+// Diff compares run b (candidate) against run a (baseline). threshold <= 0
+// selects DefaultThreshold.
+func Diff(a, b Run, threshold float64) *DiffReport {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := &DiffReport{WindowsA: len(a.Timeline.Summary), WindowsB: len(b.Timeline.Summary)}
+	byWin := make(map[int64]timeseries.SummaryRow, len(b.Timeline.Summary))
+	for _, row := range b.Timeline.Summary {
+		byWin[row.Window] = row
+	}
+	for _, ra := range a.Timeline.Summary {
+		rb, ok := byWin[ra.Window]
+		if !ok {
+			continue
+		}
+		rep.Aligned++
+		wd := WindowDiff{Window: ra.Window, StartSec: ra.StartSec}
+		for _, m := range diffMetrics {
+			va, vb := m.get(ra), m.get(rb)
+			if va == vb {
+				continue
+			}
+			d := MetricDelta{Metric: m.name, A: va, B: vb, Delta: vb - va}
+			worse := d.Delta
+			if !m.higherWorse {
+				worse = -d.Delta
+			}
+			if worse >= m.floor && worse >= threshold*math.Max(math.Abs(va), m.floor) {
+				d.Regression = true
+				rep.Regressions++
+			}
+			wd.Deltas = append(wd.Deltas, d)
+		}
+		if len(wd.Deltas) > 0 {
+			rep.Windows = append(rep.Windows, wd)
+		}
+	}
+	ta, tb := flowTotals(a.Timeline.Flows), flowTotals(b.Timeline.Flows)
+	for k := timeseries.FlowKind(0); k < timeseries.NumFlows; k++ {
+		if ta[k] == tb[k] {
+			continue
+		}
+		rep.FlowTotals = append(rep.FlowTotals, FlowTotalDelta{
+			Flow: k.String(), ABytes: ta[k], BBytes: tb[k], Delta: tb[k] - ta[k],
+		})
+	}
+	return rep
+}
+
+// flowTotals sums ledger rows per flow kind.
+func flowTotals(rows []timeseries.FlowRow) [timeseries.NumFlows]int64 {
+	var totals [timeseries.NumFlows]int64
+	for _, r := range rows {
+		if i := flowIndex(r.Flow); i >= 0 {
+			totals[i] += r.Bytes
+		}
+	}
+	return totals
+}
+
+func flowIndex(name string) int {
+	for k := timeseries.FlowKind(0); k < timeseries.NumFlows; k++ {
+		if k.String() == name {
+			return int(k)
+		}
+	}
+	return -1
+}

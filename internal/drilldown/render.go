@@ -1,0 +1,179 @@
+package drilldown
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
+)
+
+// WriteExplainText renders an Explanation for terminals: the window's
+// summary movement, its flow ledger slice, and the exemplar critical paths.
+func WriteExplainText(w io.Writer, ex *Explanation) error {
+	picked := ""
+	if ex.AutoPicked {
+		picked = " (worst window, auto-picked)"
+	}
+	if _, err := fmt.Fprintf(w, "explain: window %d at t=%.0fs%s\n", ex.Window, ex.StartSec, picked); err != nil {
+		return err
+	}
+	if s := ex.Summary; s != nil {
+		line := fmt.Sprintf("summary: %d reqs, p99 %.2f ms, retries %d, timeouts %d, fallback %d, reinits %d",
+			s.Requests, s.P99Ms, s.Retries, s.Timeouts, s.FallbackPages, s.Reinits)
+		if p := ex.PrevSummary; p != nil {
+			line += fmt.Sprintf("  (vs prev window: reqs %+d, p99 %+.2f ms)",
+				s.Requests-p.Requests, s.P99Ms-p.P99Ms)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if len(ex.Flows) > 0 {
+		if _, err := fmt.Fprintln(w, "flows:"); err != nil {
+			return err
+		}
+		const mb = float64(1 << 20)
+		for _, f := range ex.Flows {
+			dims := ""
+			if f.Tenant != "" {
+				dims += " tenant=" + f.Tenant
+			}
+			if f.Class != "" {
+				dims += " class=" + f.Class
+			}
+			dir := "tier"
+			switch f.Direction {
+			case +1:
+				dir = "in "
+			case -1:
+				dir = "out"
+			}
+			if _, err := fmt.Fprintf(w, "  %-8s %-4s %8.2f MB%s\n", f.Flow, dir, float64(f.Bytes)/mb, dims); err != nil {
+				return err
+			}
+		}
+	}
+	if a := ex.FlowAudit; a != nil {
+		verdict := "conservation OK"
+		switch {
+		case a.Merged:
+			verdict = fmt.Sprintf("n/a (merged across %d runs)", a.Runs)
+		case !a.OK:
+			verdict = fmt.Sprintf("%d window(s) VIOLATE conservation", a.Violations)
+		}
+		if _, err := fmt.Fprintf(w, "flow audit: %s (%d checkpoints)\n", verdict, a.Checks); err != nil {
+			return err
+		}
+	}
+	if len(ex.Exemplars) == 0 {
+		_, err := fmt.Fprintln(w, "exemplars: none retained for this window (run with -exemplars)")
+		return err
+	}
+	for _, bd := range ex.Exemplars {
+		cell := "exemplars"
+		if bd.Node != "" {
+			cell += " node=" + bd.Node
+		}
+		if bd.Tenant != "" {
+			cell += " tenant=" + bd.Tenant
+		}
+		if _, err := fmt.Fprintf(w, "%s (%d requests):\n", cell, bd.Count); err != nil {
+			return err
+		}
+		for i, e := range bd.Top {
+			if err := writeExemplarPath(w, fmt.Sprintf("#%d", i+1), e); err != nil {
+				return err
+			}
+		}
+		if bd.Typical != nil {
+			if err := writeExemplarPath(w, "typ", *bd.Typical); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeExemplarPath(w io.Writer, tag string, e ExemplarPath) error {
+	parts := make([]string, 0, len(e.Phases))
+	for _, p := range e.Phases {
+		parts = append(parts, fmt.Sprintf("%s %.2fms", p.Phase, p.Ms))
+	}
+	_, err := fmt.Fprintf(w, "  %-3s %9.2fms at %8.1fs %s %s/%s  [%s]\n",
+		tag, e.LatencyMs, e.AtSec, e.Kind, e.Function, e.Container, strings.Join(parts, ", "))
+	return err
+}
+
+// WriteDiffText renders a DiffReport for terminals.
+func WriteDiffText(w io.Writer, rep *DiffReport) error {
+	if _, err := fmt.Fprintf(w, "diff: %d windows vs %d windows, %d aligned\n",
+		rep.WindowsA, rep.WindowsB, rep.Aligned); err != nil {
+		return err
+	}
+	if len(rep.Windows) == 0 {
+		if _, err := fmt.Fprintln(w, "no metric movement in aligned windows"); err != nil {
+			return err
+		}
+	}
+	for _, wd := range rep.Windows {
+		for _, d := range wd.Deltas {
+			flag := ""
+			if d.Regression {
+				flag = "  REGRESSION"
+			}
+			if _, err := fmt.Fprintf(w, "  window %d (t=%.0fs) %-14s %10.2f -> %10.2f (%+.2f)%s\n",
+				wd.Window, wd.StartSec, d.Metric, d.A, d.B, d.Delta, flag); err != nil {
+				return err
+			}
+		}
+	}
+	const mb = float64(1 << 20)
+	for _, f := range rep.FlowTotals {
+		if _, err := fmt.Fprintf(w, "  flow %-8s %10.2f MB -> %10.2f MB (%+.2f MB)\n",
+			f.Flow, float64(f.ABytes)/mb, float64(f.BBytes)/mb, float64(f.Delta)/mb); err != nil {
+			return err
+		}
+	}
+	verdict := "no regressions"
+	if rep.Regressions > 0 {
+		verdict = fmt.Sprintf("%d regression(s)", rep.Regressions)
+	}
+	_, err := fmt.Fprintf(w, "verdict: %s\n", verdict)
+	return err
+}
+
+// WriteExemplarsText renders raw exemplar cells — the shared digest behind
+// faasmem-sim -exemplars and `faasmem-stat timeline -exemplars` text output.
+func WriteExemplarsText(w io.Writer, cells []exemplar.Cell) error {
+	if len(cells) == 0 {
+		_, err := fmt.Fprintln(w, "exemplars: none recorded")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "exemplars: %d cells\n", len(cells)); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		cell := fmt.Sprintf("  window %d", c.Window)
+		if c.Node != "" {
+			cell += " node=" + c.Node
+		}
+		if c.Tenant != "" {
+			cell += " tenant=" + c.Tenant
+		}
+		if _, err := fmt.Fprintf(w, "%s (%d requests):\n", cell, c.Count); err != nil {
+			return err
+		}
+		for i, e := range c.Top {
+			if err := writeExemplarPath(w, fmt.Sprintf("  #%d", i+1), flattenExemplar(e)); err != nil {
+				return err
+			}
+		}
+		if c.Typical != nil {
+			if err := writeExemplarPath(w, "  typ", flattenExemplar(*c.Typical)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

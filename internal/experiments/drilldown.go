@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/faasmem/faasmem/internal/cluster"
+	"github.com/faasmem/faasmem/internal/core"
+	"github.com/faasmem/faasmem/internal/drilldown"
+	"github.com/faasmem/faasmem/internal/faas"
+	"github.com/faasmem/faasmem/internal/fastswap"
+	"github.com/faasmem/faasmem/internal/faultinject"
+	"github.com/faasmem/faasmem/internal/memnode"
+	"github.com/faasmem/faasmem/internal/policy"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
+	"github.com/faasmem/faasmem/internal/trace"
+	"github.com/faasmem/faasmem/internal/workload"
+)
+
+// DrilldownCell is one fault-intensity cell of the ext-drilldown sweep: the
+// rack run's latency spike dereferenced all the way down — spike window →
+// worst exemplar → dominant critical-path phase — plus the byte-flow
+// ledger's conservation verdict for the run.
+type DrilldownCell struct {
+	// Intensity scales the injected fault plan; 0 is fault-free.
+	Intensity float64 `json:"intensity"`
+	// SpikeWindow is the worst-P99 window; SpikeStartSec its virtual start
+	// and SpikeP99Ms its latency.
+	SpikeWindow   int64   `json:"spike_window"`
+	SpikeStartSec float64 `json:"spike_start_sec"`
+	SpikeP99Ms    float64 `json:"spike_p99_ms"`
+	// WorstLatencyMs, WorstFunction, WorstKind identify the spike window's
+	// single worst retained request; DominantPhase is the largest phase on
+	// its critical path — the phase the spike is attributed to.
+	WorstLatencyMs float64 `json:"worst_latency_ms"`
+	WorstFunction  string  `json:"worst_function"`
+	WorstKind      string  `json:"worst_kind"`
+	DominantPhase  string  `json:"dominant_phase"`
+	// ExemplarCells counts retained (window, node, tenant) cells; FlowRows
+	// the ledger's populated cells.
+	ExemplarCells int `json:"exemplar_cells"`
+	FlowRows      int `json:"flow_rows"`
+	// AuditOK is the ledger's conservation self-check; AuditChecks how many
+	// occupancy checkpoints it covered.
+	AuditOK     bool  `json:"audit_ok"`
+	AuditChecks int64 `json:"audit_checks"`
+	// Explanation is the full drill-down of the spike window.
+	Explanation *drilldown.Explanation `json:"explanation,omitempty"`
+}
+
+// DrilldownOptions sizes the ext-drilldown sweep.
+type DrilldownOptions struct {
+	// Intensities are the fault-plan intensities swept. Default {0, 1}.
+	Intensities []float64
+	// Nodes is the rack's compute-node count. Default 3.
+	Nodes int
+	// Duration of the generated trace. Default 10 m.
+	Duration time.Duration
+	// KeepAlive of idle containers. Default 8 m.
+	KeepAlive time.Duration
+	// Window is the rollup window shared by the timeline and exemplar
+	// recorders (cells align by index). Default 30 s.
+	Window time.Duration
+	// K is the worst-K exemplar retention depth. Default 3.
+	K int
+	// Seed drives the workload; FaultSeed drives the fault plan.
+	Seed, FaultSeed int64
+}
+
+// Drilldown replays the resilience rack with both a time-series recorder and
+// a tail-exemplar recorder attached, then drills each intensity's worst
+// window down to flows, exemplars, and phase attribution. Each cell owns its
+// engine and recorders, so rows are bit-identical at any -scenario-workers
+// width (the CI determinism gate diffs widths 1 and 8).
+func Drilldown(opt DrilldownOptions) []DrilldownCell {
+	if len(opt.Intensities) == 0 {
+		opt.Intensities = []float64{0, 1}
+	}
+	if opt.Nodes <= 0 {
+		opt.Nodes = 3
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 10 * time.Minute
+	}
+	if opt.KeepAlive <= 0 {
+		opt.KeepAlive = 8 * time.Minute
+	}
+	if opt.Window <= 0 {
+		opt.Window = 30 * time.Second
+	}
+	horizon := opt.Duration + opt.KeepAlive + time.Minute
+
+	run := func(intensity float64) DrilldownCell {
+		plan := faultinject.New(faultinject.Config{
+			Horizon:   horizon,
+			Intensity: intensity,
+			Seed:      opt.FaultSeed,
+		})
+		rec := timeseries.NewRecorder(timeseries.Config{Window: opt.Window})
+		exm := exemplar.NewRecorder(exemplar.Config{Window: opt.Window, K: opt.K})
+		nodeCfg := memnode.Config{DRAMBytes: 512 << 20, SpillBytes: 512 << 20}
+		e := simtime.NewEngine()
+		c := cluster.New(e, cluster.Config{
+			Nodes: opt.Nodes,
+			Node: faas.Config{
+				KeepAliveTimeout: opt.KeepAlive,
+				Seed:             opt.Seed,
+				Swap:             fastswap.Config{FallbackReadLatency: 50 * time.Microsecond},
+				RequestLogSize:   1 << 16,
+				Timeline:         rec,
+				Exemplars:        exm,
+			},
+			Pool: rmem.Config{Node: &nodeCfg, Faults: plan},
+		}, func() policy.Policy { return core.New(core.Config{}) })
+		for i, prof := range workload.Profiles() {
+			p := *prof
+			fn := trace.GenerateFunction(p.Name, opt.Duration,
+				time.Duration(3+i)*time.Second, true, opt.Seed+int64(i))
+			if len(fn.Invocations) == 0 {
+				continue
+			}
+			c.Register(p.Name, &p)
+			c.ScheduleInvocations(p.Name, fn.Invocations)
+		}
+		e.RunUntil(horizon)
+
+		cells := exm.Cells()
+		cell := DrilldownCell{
+			Intensity:     intensity,
+			ExemplarCells: len(cells),
+			FlowRows:      len(rec.FlowRows()),
+		}
+		audit := timeseries.AuditFlows(rec)
+		cell.AuditOK = audit.OK
+		cell.AuditChecks = audit.Checks
+		ex, err := drilldown.Explain(drilldown.Run{
+			Timeline:  timeseries.TakeSnapshot(rec),
+			Exemplars: cells,
+		}, -1)
+		if err != nil {
+			return cell
+		}
+		cell.Explanation = ex
+		cell.SpikeWindow = ex.Window
+		cell.SpikeStartSec = ex.StartSec
+		if ex.Summary != nil {
+			cell.SpikeP99Ms = ex.Summary.P99Ms
+		}
+		for _, bd := range ex.Exemplars {
+			for _, top := range bd.Top {
+				if top.LatencyMs > cell.WorstLatencyMs {
+					cell.WorstLatencyMs = top.LatencyMs
+					cell.WorstFunction = top.Function
+					cell.WorstKind = top.Kind
+					cell.DominantPhase = top.Dominant
+				}
+			}
+		}
+		return cell
+	}
+
+	cells := make([]DrilldownCell, len(opt.Intensities))
+	runGrid(len(cells), func(i int) { cells[i] = run(opt.Intensities[i]) })
+	return cells
+}
+
+// PrintDrilldown renders the spike → exemplar → phase attribution chain, one
+// row per intensity.
+func PrintDrilldown(w io.Writer, cells []DrilldownCell) {
+	fmt.Fprintln(w, "Extension: exemplar drill-down — worst window to dominant phase per fault intensity")
+	fmt.Fprintln(w)
+	table := make([][]string, len(cells))
+	for i, c := range cells {
+		audit := "OK"
+		if !c.AuditOK {
+			audit = "VIOLATED"
+		}
+		table[i] = []string{
+			fmt.Sprintf("%.2f", c.Intensity),
+			fmt.Sprintf("%.0f", c.SpikeStartSec),
+			fmt.Sprintf("%.2f", c.SpikeP99Ms),
+			fmt.Sprintf("%.2f", c.WorstLatencyMs),
+			c.WorstFunction,
+			c.WorstKind,
+			c.DominantPhase,
+			fmt.Sprintf("%d", c.ExemplarCells),
+			fmt.Sprintf("%d", c.FlowRows),
+			fmt.Sprintf("%s/%d", audit, c.AuditChecks),
+		}
+	}
+	writeTable(w, []string{
+		"intensity", "spike t(s)", "p99(ms)", "worst(ms)", "function", "start",
+		"dominant", "cells", "flows", "audit",
+	}, table)
+	for _, c := range cells {
+		ex := c.Explanation
+		if ex == nil || len(ex.Exemplars) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\nintensity %.2f, window %d:\n", c.Intensity, ex.Window)
+		for _, bd := range ex.Exemplars {
+			for i, top := range bd.Top {
+				if i > 0 {
+					break // worst per cell keeps the digest short
+				}
+				phases := ""
+				for j, p := range top.Phases {
+					if j > 0 {
+						phases += ", "
+					}
+					phases += fmt.Sprintf("%s %.1fms", p.Phase, p.Ms)
+				}
+				fmt.Fprintf(w, "  %s: %.2fms %s  [%s]\n",
+					bd.Tenant, top.LatencyMs, top.Kind, phases)
+			}
+		}
+	}
+}

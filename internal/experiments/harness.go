@@ -19,6 +19,7 @@ import (
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -83,6 +84,10 @@ type Scenario struct {
 	// falls back to the process default (timeseries.SetDefault), mirroring
 	// Spans, so -timeline flags capture every harness without plumbing.
 	Timeline *timeseries.Recorder
+	// Exemplars attaches a tail-exemplar recorder (worst-K span trees per
+	// window). Nil falls back to the process default (exemplar.SetDefault),
+	// mirroring Timeline.
+	Exemplars *exemplar.Recorder
 }
 
 // Outcome summarizes one scenario run.
@@ -178,6 +183,7 @@ func RunScenario(sc Scenario) Outcome {
 		Telemetry:        sc.Telemetry.OrDefault(),
 		Spans:            sc.Spans.OrDefault(),
 		Timeline:         sc.Timeline.OrDefault(),
+		Exemplars:        sc.Exemplars.OrDefault(),
 	}, pol)
 	fnID := sc.Profile.Name
 	f := p.Register(fnID, sc.Profile)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 )
@@ -92,6 +93,7 @@ type scenarioShard struct {
 	tracer *telemetry.Tracer
 	spans  *span.Recorder
 	tl     *timeseries.Recorder
+	exm    *exemplar.Recorder
 }
 
 // shardScenario replaces any shared process-default sink the scenario would
@@ -123,14 +125,23 @@ func shardScenario(sc *Scenario) scenarioShard {
 			sc.Timeline = sh.tl
 		}
 	}
+	if sc.Exemplars == nil {
+		if def := exemplar.Default(); def != nil {
+			sh.exm = exemplar.NewRecorder(def.Config())
+			sc.Exemplars = sh.exm
+		}
+	}
 	return sh
 }
 
-// merge folds the shard's sinks back into the process defaults.
+// merge folds the shard's sinks back into the process defaults. The timeline
+// shard was built from the sink's own Config, so the window-mismatch error
+// cannot arise; a nil shard or sink is a defined no-op.
 func (sh scenarioShard) merge() {
 	telemetry.Default().Tracer.MergeFrom(sh.tracer)
 	span.Default().MergeFrom(sh.spans)
-	timeseries.Default().MergeFrom(sh.tl)
+	_ = timeseries.Default().MergeFrom(sh.tl)
+	_ = exemplar.Default().MergeFrom(sh.exm)
 }
 
 // RunScenarios executes every scenario through RunScenario across the worker

@@ -377,8 +377,15 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 		FaultPages:  c.curFaults,
 		StallTime:   c.curStall,
 	})
-	if c.p.spans.Enabled() {
-		c.p.spans.Record(c.buildInvocation(arrival, now))
+	if c.p.spans.Enabled() || c.p.exm.Enabled() {
+		// Build the span tree once and feed whichever sinks are on: the
+		// exemplar recorder works standalone so drill-down does not require
+		// retaining every request's spans.
+		inv := c.buildInvocation(arrival, now)
+		if c.p.spans.Enabled() {
+			c.p.spans.Record(inv)
+		}
+		c.p.exm.Record(now, c.p.tlNode, c.fn.id, time.Duration(now-arrival), inv)
 	}
 	c.p.met.reqLatency.Observe((now - arrival).Seconds())
 	if c.p.tl.Enabled() {
@@ -531,7 +538,7 @@ func (c *Container) recycle() {
 	remote := c.space.RemoteBytes()
 	c.cg.Uncharge(now, local)
 	c.cg.DropRemote(now, remote)
-	c.p.pool.DiscardOwner(c.owner, remote)
+	c.p.pool.DiscardOwner(now, c.owner, c.fn.id, remote)
 	c.p.swap.Release(c.space.CountState(pagemem.Remote))
 
 	c.p.addLive(now, -1)

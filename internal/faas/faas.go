@@ -23,6 +23,7 @@ import (
 	"github.com/faasmem/faasmem/internal/rmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -86,6 +87,12 @@ type Config struct {
 	// (local/remote bytes, live containers, pool occupancy). Nil disables
 	// timeline recording; the disabled path is allocation-free.
 	Timeline *timeseries.Recorder
+	// Exemplars attaches a tail-exemplar recorder: each completed request's
+	// span tree is offered to the per-window worst-K cells keyed by
+	// (node, tenant), linking timeline spikes back to concrete requests.
+	// Works with or without Spans (the span tree is built either way when
+	// exemplars are on). Nil disables; the disabled path is allocation-free.
+	Exemplars *exemplar.Recorder
 	// FetchTimeout bounds how long one request's page fetch may sit in
 	// backoff retries against an unhealthy pool link before giving up and
 	// recovering (local-swap fallback when the swap device keeps a
@@ -257,6 +264,7 @@ type Platform struct {
 	tel        telemetry.Hub
 	spans      *span.Recorder
 	tl         *timeseries.Recorder
+	exm        *exemplar.Recorder
 	tlNode     string
 	met        platformMetrics
 	containers int // ever created
@@ -289,6 +297,7 @@ func NewWithPool(engine *simtime.Engine, cfg Config, pol policy.Policy, pool *rm
 		tel:      c.Telemetry,
 		spans:    c.Spans,
 		tl:       c.Timeline,
+		exm:      c.Exemplars,
 	}
 	p.met = newPlatformMetrics(p.tel.Reg)
 	pool.Instrument(p.tel.Tracer, p.tel.Reg)
@@ -476,6 +485,10 @@ func (p *Platform) RequestLog() *RequestLog { return &p.reqLog }
 // SpanRecorder exposes the platform's causal-span recorder (nil when span
 // recording is disabled).
 func (p *Platform) SpanRecorder() *span.Recorder { return p.spans }
+
+// ExemplarRecorder returns the attached tail-exemplar recorder (nil when
+// exemplars are disabled).
+func (p *Platform) ExemplarRecorder() *exemplar.Recorder { return p.exm }
 
 // EvictedContainers counts idle containers force-recycled to keep the node
 // within its memory limit.

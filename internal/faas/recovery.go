@@ -205,7 +205,7 @@ func (c *Container) recoverFetch(arrival simtime.Time, touches workload.Touches,
 		var all rmem.ClassCounts
 		all[memnode.ClassRuntime] = runtimeFaults + runtimeRA
 		all[memnode.ClassInit] = initFaults + initRA
-		c.p.pool.RecallLocal(c.owner, c.fn.id, all, pageBytes)
+		c.p.pool.RecallLocal(now, c.owner, c.fn.id, all, pageBytes)
 		c.cg.Recall(now, int64(pages)*pageBytes)
 		c.p.syncMemGauges()
 		c.p.enforceMemoryLimit(now)

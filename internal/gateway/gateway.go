@@ -12,6 +12,8 @@
 //	GET  /timeline            per-window time-series rollups
 //	                          (?format=text|json)
 //	GET  /flight              flight-recorder dumps (fault windows, SLO burn)
+//	GET  /exemplars           worst-K tail exemplars per (window, node, tenant)
+//	GET  /flows               page byte-flow ledger + conservation audit
 //	GET  /benchmarks          the 11 benchmark profiles
 //	GET  /policies            available offloading policies
 //	POST /run                 run one scenario (JSON body, JSON outcome)
@@ -35,6 +37,7 @@ import (
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/faultinject"
 	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
 	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
 	"github.com/faasmem/faasmem/internal/trace"
@@ -118,6 +121,7 @@ type server struct {
 	reg         *telemetry.Registry
 	spans       *span.Recorder
 	timeline    *timeseries.Recorder
+	exemplars   *exemplar.Recorder
 	runs        *telemetry.Metric
 	replays     *telemetry.Metric
 	experiments *telemetry.Metric
@@ -130,6 +134,7 @@ func newServer() *server {
 		reg:         reg,
 		spans:       span.NewRecorder(span.DefaultCapacity),
 		timeline:    timeseries.NewRecorder(timeseries.Config{}),
+		exemplars:   exemplar.NewRecorder(exemplar.Config{}),
 		runs:        reg.Counter("gateway_runs_total", "POST /run scenarios executed"),
 		replays:     reg.Counter("gateway_replays_total", "POST /replay traces executed"),
 		experiments: reg.Counter("gateway_experiments_total", "POST /experiments regenerations executed"),
@@ -153,6 +158,8 @@ func Handler() http.Handler {
 	mux.HandleFunc("GET /attrib", s.handleAttrib)
 	mux.HandleFunc("GET /timeline", s.handleTimeline)
 	mux.HandleFunc("GET /flight", s.handleFlight)
+	mux.HandleFunc("GET /exemplars", s.handleExemplars)
+	mux.HandleFunc("GET /flows", s.handleFlows)
 	mux.HandleFunc("GET /benchmarks", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, workload.Profiles())
 	})
@@ -194,6 +201,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Telemetry:   s.hub(),
 		Spans:       s.spans,
 		Timeline:    s.timeline,
+		Exemplars:   s.exemplars,
 	}
 	if req.FaultIntensity > 0 {
 		sc.Pool.Faults = faultinject.New(faultinject.Config{
@@ -217,7 +225,7 @@ var experimentNames = []string{
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
 	"ext-percentile", "ext-rack", "ext-attrib", "ext-pool-density",
-	"ext-resilience", "ext-observe",
+	"ext-resilience", "ext-observe", "ext-drilldown",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -288,6 +296,11 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.Observe(experiments.ObserveOptions{
 			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute,
 			Fallback: true, Seed: seed, FaultSeed: seed,
+		})
+	case "ext-drilldown":
+		rows = experiments.Drilldown(experiments.DrilldownOptions{
+			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute,
+			Seed: seed, FaultSeed: seed,
 		})
 	default:
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))

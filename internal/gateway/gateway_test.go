@@ -262,8 +262,8 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 23 {
-		t.Fatalf("experiments = %d, want 23", len(names))
+	if len(names) != 24 {
+		t.Fatalf("experiments = %d, want 24", len(names))
 	}
 	// Every advertised name must actually dispatch.
 	for _, n := range names {

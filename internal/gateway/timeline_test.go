@@ -128,6 +128,8 @@ func TestContentTypesAndMethodNotAllowed(t *testing.T) {
 		{"/attrib?format=json", "application/json; charset=utf-8"},
 		{"/timeline", "text/plain; charset=utf-8"},
 		{"/flight", "application/json; charset=utf-8"},
+		{"/exemplars", "application/json; charset=utf-8"},
+		{"/flows", "application/json; charset=utf-8"},
 		{"/healthz", "application/json; charset=utf-8"},
 	}
 	for _, tc := range headers {
@@ -148,6 +150,8 @@ func TestContentTypesAndMethodNotAllowed(t *testing.T) {
 		{http.MethodPost, "/attrib"},
 		{http.MethodPost, "/timeline"},
 		{http.MethodPost, "/flight"},
+		{http.MethodPost, "/exemplars"},
+		{http.MethodPost, "/flows"},
 		{http.MethodGet, "/run"},
 		{http.MethodGet, "/replay"},
 		{http.MethodDelete, "/healthz"},

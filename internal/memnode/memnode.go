@@ -351,6 +351,15 @@ func (n *Node) CompressSavedBytes() int64 {
 	return n.compPages*int64(n.cfg.PageSize) - n.compStoredBytes
 }
 
+// CompressedPages is the cumulative count of pages ever demoted into the
+// compressed tier. Monotone, so callers can delta it around a node call to
+// learn how much tier movement the call triggered.
+func (n *Node) CompressedPages() int64 { return n.compressedPages }
+
+// SpilledPages is the cumulative count of pages ever demoted to the spill
+// tier; monotone like CompressedPages.
+func (n *Node) SpilledPages() int64 { return n.spilledPages }
+
 // AcceptableBytes is the effective headroom an offloader may assume: free
 // DRAM, plus what compressing the current hot tier would reclaim, plus free
 // spill. With an unbounded spill tier the node never rejects for capacity.

@@ -28,8 +28,10 @@ func (c ClassCounts) Total() int {
 // page merging).
 func (p *Pool) OffloadDescribed(now simtime.Time, owner, fn string, counts ClassCounts, pageBytes int64) (accepted ClassCounts, done simtime.Time, err error) {
 	if p.node == nil {
+		p.stageFlow(fn, counts, pageBytes)
 		done, err = p.OffloadBytes(now, int64(counts.Total())*pageBytes)
 		if err != nil {
+			p.clearFlowStage()
 			return ClassCounts{}, done, err
 		}
 		return counts, done, nil
@@ -37,6 +39,7 @@ func (p *Pool) OffloadDescribed(now simtime.Time, owner, fn string, counts Class
 	if err := p.probeHealth(now); err != nil {
 		return ClassCounts{}, now, err
 	}
+	comp0, spill0 := p.tierFlowsBefore()
 	total := 0
 	for cls := range counts {
 		if counts[cls] == 0 {
@@ -46,9 +49,11 @@ func (p *Pool) OffloadDescribed(now simtime.Time, owner, fn string, counts Class
 		accepted[cls] = acc
 		total += acc
 	}
+	p.recordTierFlows(now, fn, comp0, spill0, pageBytes)
 	if total == 0 {
 		return accepted, now, nil
 	}
+	p.stageFlow(fn, accepted, pageBytes)
 	return accepted, p.commitOffload(now, int64(total)*pageBytes), nil
 }
 
@@ -65,11 +70,13 @@ func (p *Pool) FaultBatchOwner(now simtime.Time, owner, fn string, counts ClassC
 			}
 			tier.Tier += p.node.Recall(owner, fn, memnode.Class(cls), counts[cls]).Latency
 		}
+		p.stageFlow(fn, counts, pageBytes)
 		stall := p.FaultBatchDetail(now, counts.Total(), pageBytes)
 		stall.Tier = tier.Tier
 		stall.Total += tier.Tier
 		return stall
 	}
+	p.stageFlow(fn, counts, pageBytes)
 	return p.FaultBatchDetail(now, counts.Total(), pageBytes)
 }
 
@@ -86,16 +93,19 @@ func (p *Pool) RecallDescribed(now simtime.Time, owner, fn string, counts ClassC
 			p.node.Recall(owner, fn, memnode.Class(cls), counts[cls])
 		}
 	}
+	p.stageFlow(fn, counts, pageBytes)
 	return p.RecallBytes(now, int64(counts.Total())*pageBytes)
 }
 
 // DiscardOwner drops a recycled container's remote bytes. With a memory node
 // attached its described holdings are released too (refcounts drop; shared
 // copies persist while other containers still reference them). bytes is the
-// compute side's remote-byte count, which governs the pool's byte ledger.
-func (p *Pool) DiscardOwner(owner string, bytes int64) {
+// compute side's remote-byte count, which governs the pool's byte ledger; fn
+// attributes the discard flow to the container's function (tenant).
+func (p *Pool) DiscardOwner(now simtime.Time, owner, fn string, bytes int64) {
 	if p.node != nil {
 		p.node.DiscardOwner(owner)
 	}
-	p.Discard(bytes)
+	p.stageFlowTenant(fn)
+	p.Discard(now, bytes)
 }

@@ -197,7 +197,7 @@ func TestDiscardOwnerReleasesNodeAndLedger(t *testing.T) {
 	if _, _, err := p.OffloadDescribed(0, "c0", "f", counts, pageB); err != nil {
 		t.Fatal(err)
 	}
-	p.DiscardOwner("c0", int64(counts.Total())*pageB)
+	p.DiscardOwner(0, "c0", "f", int64(counts.Total())*pageB)
 	if p.Used() != 0 {
 		t.Fatalf("Used after discard = %d, want 0", p.Used())
 	}

@@ -164,8 +164,9 @@ func (p *Pool) FetchRetry(now simtime.Time, owner, fn string, counts ClassCounts
 // RecallLocal releases a described batch's pool holdings without touching
 // the wire: the caller served the pages from its local swap copy (fallback
 // after a fetch timeout), so the bytes leave the pool ledger but no transfer
-// or fault latency is modeled here.
-func (p *Pool) RecallLocal(owner, fn string, counts ClassCounts, pageBytes int64) {
+// or fault latency is modeled here. The release lands in the flow ledger as
+// a fallback flow stamped at now.
+func (p *Pool) RecallLocal(now simtime.Time, owner, fn string, counts ClassCounts, pageBytes int64) {
 	if p.node != nil {
 		for cls := range counts {
 			if counts[cls] == 0 {
@@ -180,4 +181,6 @@ func (p *Pool) RecallLocal(owner, fn string, counts ClassCounts, pageBytes int64
 	}
 	p.used -= bytes
 	p.met.usedBytes.Set(p.used)
+	p.stageFlow(fn, counts, pageBytes)
+	p.recordFlow(now, timeseries.FlowFallback, bytes)
 }

@@ -176,6 +176,9 @@ type Pool struct {
 	// marks that one platform already owns the per-window pool sampler.
 	tl        *timeseries.Recorder
 	tlClaimed bool
+	// pend stages a described batch's provenance for the byte-flow ledger
+	// (see flow.go).
+	pend flowPending
 }
 
 // poolMetrics are the pool's live counters; every field is a no-op nil
@@ -380,6 +383,7 @@ func (p *Pool) commitOffload(now simtime.Time, bytes int64) simtime.Time {
 	p.met.offloadBytes.Add(bytes)
 	p.met.usedBytes.Set(p.used)
 	p.tl.AddCounter(now, timeseries.SeriesOffloadBytes, poolDims, bytes)
+	p.recordFlow(now, timeseries.FlowOffload, bytes)
 	p.tr.Record(telemetry.Event{
 		At: start, Dur: time.Duration(done - start),
 		Kind: telemetry.KindLinkTransfer, Actor: "link",
@@ -406,6 +410,7 @@ func (p *Pool) RecallBytes(now simtime.Time, bytes int64) simtime.Time {
 	p.met.recallBytes.Add(bytes)
 	p.met.usedBytes.Set(p.used)
 	p.tl.AddCounter(now, timeseries.SeriesRecallBytes, poolDims, bytes)
+	p.recordFlow(now, timeseries.FlowRecall, bytes)
 	p.tr.Record(telemetry.Event{
 		At: start, Dur: time.Duration(done - start),
 		Kind: telemetry.KindLinkTransfer, Actor: "link",
@@ -430,6 +435,7 @@ func (p *Pool) Fault(now simtime.Time, pageBytes int64) time.Duration {
 	p.met.recallBytes.Add(pageBytes)
 	p.met.usedBytes.Set(p.used)
 	p.tl.AddCounter(now, timeseries.SeriesRecallBytes, poolDims, pageBytes)
+	p.recordFlow(now, timeseries.FlowFault, pageBytes)
 	lat := p.faultLatencyAt(now) + p.transferTimeAt(now, pageBytes)
 	util := p.Utilization(now)
 	if util > p.cfg.SaturationPoint {
@@ -491,6 +497,7 @@ func (p *Pool) FaultBatchDetail(now simtime.Time, n int, pageBytes int64) FaultS
 	p.met.recallBytes.Add(total)
 	p.met.usedBytes.Set(p.used)
 	p.tl.AddCounter(now, timeseries.SeriesRecallBytes, poolDims, total)
+	p.recordFlow(now, timeseries.FlowFault, total)
 	rounds := (n + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
 	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTimeAt(now, total)
 	stall := FaultStall{BacklogBytes: p.BacklogBytes(now)}
@@ -525,13 +532,15 @@ func (p *Pool) recordSaturation(now simtime.Time, util float64) {
 }
 
 // Discard drops bytes from the pool without a transfer — used when a
-// container is recycled and its remote pages are simply freed.
-func (p *Pool) Discard(bytes int64) {
+// container is recycled and its remote pages are simply freed. now stamps
+// the flow ledger's window.
+func (p *Pool) Discard(now simtime.Time, bytes int64) {
 	if bytes > p.used {
 		bytes = p.used
 	}
 	p.used -= bytes
 	p.met.usedBytes.Set(p.used)
+	p.recordFlow(now, timeseries.FlowDiscard, bytes)
 }
 
 // Utilization estimates current link utilization in [0, 1+] from the recent

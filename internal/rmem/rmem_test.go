@@ -136,14 +136,14 @@ func TestDiscardDropsWithoutTransfer(t *testing.T) {
 	p := NewPool(Config{})
 	p.OffloadBytes(0, 10000)
 	before := p.Meter(Recall).Total()
-	p.Discard(4000)
+	p.Discard(0, 4000)
 	if p.Used() != 6000 {
 		t.Errorf("Used = %d, want 6000", p.Used())
 	}
 	if p.Meter(Recall).Total() != before {
 		t.Error("Discard moved bytes through the link meter")
 	}
-	p.Discard(1 << 30)
+	p.Discard(0, 1<<30)
 	if p.Used() != 0 {
 		t.Errorf("Used after over-discard = %d", p.Used())
 	}

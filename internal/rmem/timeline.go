@@ -25,6 +25,11 @@ func (p *Pool) InstrumentTimeline(tl *timeseries.Recorder) (owner bool) {
 	if claimed {
 		return false
 	}
+	// One pool lifetime = one flow-ledger run: a recorder that outlives the
+	// pool (a gateway's service-lifetime sink) accumulates multiple runs and
+	// its conservation audit reports itself not-applicable instead of
+	// flagging cross-run occupancy jumps.
+	tl.StartFlowRun()
 	if p.flt != nil {
 		windows := p.flt.Windows()
 		starts := make([]simtime.Time, len(windows))

@@ -231,6 +231,11 @@ type Snapshot struct {
 	Rows []Row `json:"rows"`
 	// Summary is the per-window cross-dimension rollup.
 	Summary []SummaryRow `json:"summary"`
+	// Flows is the page byte-flow ledger (see FlowRows).
+	Flows []FlowRow `json:"flows,omitempty"`
+	// FlowAudit is the ledger's conservation self-check, present whenever
+	// flows were recorded.
+	FlowAudit *FlowAudit `json:"flow_audit,omitempty"`
 	// Dumps are the flight-recorder dumps.
 	Dumps []Dump `json:"dumps"`
 	// DumpsDropped counts triggers past the MaxDumps cap.
@@ -239,13 +244,19 @@ type Snapshot struct {
 
 // TakeSnapshot assembles the exportable view of the recorder.
 func TakeSnapshot(r *Recorder) Snapshot {
-	return Snapshot{
+	snap := Snapshot{
 		WindowSec:    r.Window().Seconds(),
 		Rows:         r.Rows(),
 		Summary:      Summarize(r),
 		Dumps:        r.Dumps(),
 		DumpsDropped: r.DumpsDropped(),
 	}
+	if flows := r.FlowRows(); len(flows) > 0 {
+		snap.Flows = flows
+		audit := AuditFlows(r)
+		snap.FlowAudit = &audit
+	}
+	return snap
 }
 
 // WriteJSON renders the snapshot as indented JSON.
@@ -296,6 +307,9 @@ func WriteText(w io.Writer, r *Recorder) error {
 	if err := writeTable(w, header, cells); err != nil {
 		return err
 	}
+	if err := writeFlowDigest(w, r); err != nil {
+		return err
+	}
 	dumps := r.Dumps()
 	if len(dumps) == 0 && r.DumpsDropped() == 0 {
 		return nil
@@ -312,12 +326,73 @@ func WriteText(w io.Writer, r *Recorder) error {
 		return err
 	}
 	for i, d := range dumps {
-		if _, err := fmt.Fprintf(w, "  dump %d: %-12s at %7.1fs window %d, %d events\n",
-			i, d.Trigger, d.At.Seconds(), d.Window, len(d.Events)); err != nil {
+		series := ""
+		if d.Series != "" {
+			series = " (" + d.Series + ")"
+		}
+		if _, err := fmt.Fprintf(w, "  dump %d: %-12s at %7.1fs window %d, %d events%s\n",
+			i, d.Trigger, d.At.Seconds(), d.Window, len(d.Events), series); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeFlowDigest prints the page byte-flow ledger's compact text form: one
+// per-kind total line plus the conservation audit's verdict. The full
+// per-window matrix stays in the JSON snapshot (and behind faasmem-stat
+// explain / the gateway's GET /flows), where its size is not a problem.
+func writeFlowDigest(w io.Writer, r *Recorder) error {
+	totals := r.FlowTotals()
+	var any bool
+	for _, t := range totals {
+		if t != 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	const mb = 1 << 20
+	parts := make([]string, 0, NumFlows)
+	for k := FlowKind(0); k < NumFlows; k++ {
+		if totals[k] == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.2f MB", k, float64(totals[k])/mb))
+	}
+	if _, err := fmt.Fprintf(w, "\nflows: %s\n", strings.Join(parts, ", ")); err != nil {
+		return err
+	}
+	audit := AuditFlows(r)
+	switch {
+	case audit.Merged:
+		_, err := fmt.Fprintf(w, "flow audit: n/a (merged across %d runs; %d checkpoints)\n",
+			audit.Runs, audit.Checks)
+		return err
+	case audit.Checks == 0:
+		_, err := fmt.Fprintln(w, "flow audit: no occupancy checkpoints")
+		return err
+	case audit.OK:
+		_, err := fmt.Fprintf(w, "flow audit: conservation OK over %d windows (%d checkpoints)\n",
+			len(audit.Windows), audit.Checks)
+		return err
+	default:
+		if _, err := fmt.Fprintf(w, "flow audit: %d of %d windows VIOLATE conservation\n",
+			audit.Violations, len(audit.Windows)); err != nil {
+			return err
+		}
+		for _, wa := range audit.Windows {
+			if wa.OK {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  window %d: occupancy delta %d != net flow %d\n",
+				wa.Window, wa.OccDelta, wa.FlowDelta); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // writeTable prints a fixed-width table with right-aligned columns,

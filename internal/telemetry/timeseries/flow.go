@@ -1,0 +1,369 @@
+package timeseries
+
+import (
+	"sort"
+
+	"github.com/faasmem/faasmem/internal/simtime"
+)
+
+// The page byte-flow ledger tracks how bytes move between page states —
+// local → offloaded → compressed → spilled → recalled → fallback-read →
+// discarded — as a per-window flow matrix keyed by node/tenant/page-class,
+// with a built-in conservation audit: every pool-occupancy mutation records
+// the flow that caused it plus an occupancy checkpoint, so the recorder can
+// verify per window that inflow − outflow equals the occupancy delta. A
+// missing hook, a mis-clamped byte count, or a mutation that bypasses the
+// ledger shows up as an audit violation instead of silently skewing the
+// numbers the paper's headline claims rest on.
+
+// FlowKind names one transition in the page-state flow matrix.
+type FlowKind uint8
+
+// The flow kinds. Direction is relative to pool occupancy: offload flows
+// into the pool, recall/fault/fallback/discard flow out, and compress/spill
+// move bytes between pool tiers without changing occupancy.
+const (
+	// FlowOffload moves cold local bytes into the pool.
+	FlowOffload FlowKind = iota
+	// FlowRecall brings bytes back ahead of demand (planned recall).
+	FlowRecall
+	// FlowFault brings bytes back on a demand page fault.
+	FlowFault
+	// FlowFallback releases pool bytes whose content was served from the
+	// local swap device after a failed remote fetch.
+	FlowFallback
+	// FlowDiscard drops a recycled container's pool bytes.
+	FlowDiscard
+	// FlowCompress moves pool bytes into the compressed tier (intra-pool).
+	FlowCompress
+	// FlowSpill moves pool bytes into the spill tier (intra-pool).
+	FlowSpill
+	// NumFlows is the number of flow kinds.
+	NumFlows
+)
+
+var flowNames = [NumFlows]string{
+	FlowOffload:  "offload",
+	FlowRecall:   "recall",
+	FlowFault:    "fault",
+	FlowFallback: "fallback",
+	FlowDiscard:  "discard",
+	FlowCompress: "compress",
+	FlowSpill:    "spill",
+}
+
+// String names the flow kind.
+func (f FlowKind) String() string {
+	if int(f) < len(flowNames) {
+		return flowNames[f]
+	}
+	return "unknown"
+}
+
+var flowDirections = [NumFlows]int{
+	FlowOffload:  +1,
+	FlowRecall:   -1,
+	FlowFault:    -1,
+	FlowFallback: -1,
+	FlowDiscard:  -1,
+	FlowCompress: 0,
+	FlowSpill:    0,
+}
+
+// Direction is the flow's sign on pool occupancy: +1 inflow, -1 outflow,
+// 0 intra-pool tier movement.
+func (f FlowKind) Direction() int {
+	if int(f) < len(flowDirections) {
+		return flowDirections[f]
+	}
+	return 0
+}
+
+// flowKey identifies one flow series; comparable, so the hot-path lookup
+// allocates nothing.
+type flowKey struct {
+	kind FlowKind
+	dims Dims
+}
+
+// occWindow holds one window's occupancy checkpoints: the first and last
+// (occupancy, cumulative-net-flow) pair seen in the window. Conservation
+// inside the window is lastOcc-firstOcc == lastNet-firstNet; across adjacent
+// checkpointed windows it is firstOcc(w)-lastOcc(prev) ==
+// firstNet(w)-lastNet(prev).
+type occWindow struct {
+	firstOcc, firstNet int64
+	lastOcc, lastNet   int64
+	checks             int64
+}
+
+// AddFlow accumulates bytes into the flow ledger for the window containing
+// at. Call it at the instrumentation site that mutates pool occupancy, with
+// the same (clamped) byte count the mutation applied, then checkpoint with
+// FlowOccupancy; the audit verifies the two agree per window. No-op on nil.
+func (r *Recorder) AddFlow(at simtime.Time, kind FlowKind, d Dims, bytes int64) {
+	if r == nil || bytes == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.crossTriggers(at)
+	k := flowKey{kind: kind, dims: d}
+	m := r.flows[k]
+	if m == nil {
+		m = make(map[int64]int64)
+		r.flows[k] = m
+	}
+	m[r.windowOf(at)] += bytes
+	r.flowNet += int64(kind.Direction()) * bytes
+	r.mu.Unlock()
+}
+
+// FlowOccupancy checkpoints the pool occupancy after a mutation. The audit
+// compares occupancy deltas between checkpoints against the net flow
+// recorded between them. No-op on nil.
+func (r *Recorder) FlowOccupancy(at simtime.Time, occ int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.flowRuns == 0 {
+		r.flowRuns = 1
+	}
+	win := r.windowOf(at)
+	w := r.occ[win]
+	if w == nil {
+		w = &occWindow{firstOcc: occ, firstNet: r.flowNet}
+		r.occ[win] = w
+	}
+	w.lastOcc = occ
+	w.lastNet = r.flowNet
+	w.checks++
+	r.mu.Unlock()
+}
+
+// StartFlowRun marks the beginning of an independent simulation run feeding
+// this recorder. Occupancy conservation is only meaningful within one run
+// (each run's pool starts empty at virtual time zero); when a recorder has
+// accumulated more than one run — a service-lifetime gateway recorder, or a
+// shared sink merged from scenario shards — the audit reports itself
+// not-applicable instead of flagging spurious violations.
+func (r *Recorder) StartFlowRun() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flowRuns++
+	r.mu.Unlock()
+}
+
+// FlowRow is one (flow, dims, window) ledger cell flattened for export.
+type FlowRow struct {
+	// Window is the window index (Start = Window · window size).
+	Window int64 `json:"window"`
+	// Start is the window's virtual start time.
+	Start simtime.Time `json:"start"`
+	// Flow names the transition ("offload", "recall", ...).
+	Flow string `json:"flow"`
+	// Direction is the flow's sign on pool occupancy (+1, -1, 0).
+	Direction int `json:"direction"`
+	// Node, Tenant, Class are the ledger dimensions (empty when not
+	// applicable).
+	Node   string `json:"node,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
+	// Bytes moved in the window.
+	Bytes int64 `json:"bytes"`
+}
+
+// FlowRows flattens the ledger, sorted by (Window, Flow kind, Node, Tenant,
+// Class) so output is deterministic regardless of map iteration order.
+func (r *Recorder) FlowRows() []FlowRow {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []FlowRow
+	for k, wins := range r.flows {
+		for win, bytes := range wins {
+			out = append(out, FlowRow{
+				Window:    win,
+				Start:     simtime.Time(win) * r.cfg.Window,
+				Flow:      k.kind.String(),
+				Direction: k.kind.Direction(),
+				Node:      k.dims.Node,
+				Tenant:    k.dims.Tenant,
+				Class:     k.dims.Class,
+				Bytes:     bytes,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Window != b.Window {
+			return a.Window < b.Window
+		}
+		if a.Flow != b.Flow {
+			return flowOrder(a.Flow) < flowOrder(b.Flow)
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Class < b.Class
+	})
+	return out
+}
+
+// flowOrder ranks flow names in enum order so tables read in page-lifecycle
+// order rather than alphabetically.
+func flowOrder(name string) int {
+	for i, n := range flowNames {
+		if n == name {
+			return i
+		}
+	}
+	return len(flowNames)
+}
+
+// FlowWindowAudit is one window's conservation arithmetic: the occupancy
+// delta between the window's first and last checkpoints (plus the carry from
+// the previous checkpointed window) against the net flow recorded over the
+// same span.
+type FlowWindowAudit struct {
+	// Window is the window index.
+	Window int64 `json:"window"`
+	// OccDelta is the occupancy change covered by this window's
+	// checkpoints, including the carry since the previous checkpointed
+	// window.
+	OccDelta int64 `json:"occ_delta"`
+	// FlowDelta is the net signed flow (inflow − outflow) over the same
+	// span.
+	FlowDelta int64 `json:"flow_delta"`
+	// Checks counts occupancy checkpoints in the window.
+	Checks int64 `json:"checks"`
+	// OK reports OccDelta == FlowDelta.
+	OK bool `json:"ok"`
+}
+
+// FlowAudit is the ledger's self-check: per-window conservation of
+// inflow − outflow against occupancy deltas.
+type FlowAudit struct {
+	// Runs counts independent simulation runs folded into the recorder.
+	Runs int `json:"runs"`
+	// Merged is true when Runs > 1: occupancy checkpoints from separate
+	// virtual clocks interleave, so conservation is not applicable (flows
+	// themselves still merge additively and stay meaningful).
+	Merged bool `json:"merged,omitempty"`
+	// Checks counts occupancy checkpoints audited.
+	Checks int64 `json:"checks"`
+	// Windows is the per-window arithmetic, ascending by window.
+	Windows []FlowWindowAudit `json:"windows,omitempty"`
+	// Violations counts windows where conservation failed.
+	Violations int `json:"violations"`
+	// OK is true when every audited window conserved (vacuously true when
+	// Merged or when nothing was checkpointed).
+	OK bool `json:"ok"`
+}
+
+// AuditFlows runs the conservation check: for every checkpointed window, the
+// occupancy delta since the previous checkpoint must equal the net signed
+// flow recorded in between. A hook site that mutates occupancy without
+// recording a flow (or records different bytes than it applied) fails the
+// audit.
+func AuditFlows(r *Recorder) FlowAudit {
+	if r == nil {
+		return FlowAudit{OK: true}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := FlowAudit{Runs: r.flowRuns, OK: true}
+	if r.flowRuns > 1 {
+		a.Merged = true
+		for _, w := range r.occ {
+			a.Checks += w.checks
+		}
+		return a
+	}
+	wins := make([]int64, 0, len(r.occ))
+	for win := range r.occ {
+		wins = append(wins, win)
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i] < wins[j] })
+	var havePrev bool
+	var prevOcc, prevNet int64
+	for _, win := range wins {
+		w := r.occ[win]
+		wa := FlowWindowAudit{Window: win, Checks: w.checks}
+		if havePrev {
+			// Carry from the previous checkpointed window: flows recorded
+			// after its last checkpoint land here.
+			wa.OccDelta = w.lastOcc - prevOcc
+			wa.FlowDelta = w.lastNet - prevNet
+		} else {
+			wa.OccDelta = w.lastOcc - w.firstOcc
+			wa.FlowDelta = w.lastNet - w.firstNet
+		}
+		wa.OK = wa.OccDelta == wa.FlowDelta
+		if !wa.OK {
+			a.Violations++
+			a.OK = false
+		}
+		a.Checks += w.checks
+		a.Windows = append(a.Windows, wa)
+		havePrev = true
+		prevOcc = w.lastOcc
+		prevNet = w.lastNet
+	}
+	return a
+}
+
+// FlowTotals sums each flow kind's bytes across all windows and dimensions,
+// indexed by FlowKind — the compact digest WriteText prints.
+func (r *Recorder) FlowTotals() [NumFlows]int64 {
+	var totals [NumFlows]int64
+	if r == nil {
+		return totals
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, wins := range r.flows {
+		for _, bytes := range wins {
+			totals[k.kind] += bytes
+		}
+	}
+	return totals
+}
+
+// mergeFlowsLocked folds src's ledger into r; both mutexes are held by
+// MergeFrom. Flows merge additively per (flow, dims, window); occupancy
+// windows keep r's first checkpoint and take src's last (deterministic under
+// the fixed shard merge order); run counts add, so a multi-run sink audits
+// as Merged.
+func (r *Recorder) mergeFlowsLocked(src *Recorder) {
+	for k, wins := range src.flows {
+		dst := r.flows[k]
+		if dst == nil {
+			dst = make(map[int64]int64, len(wins))
+			r.flows[k] = dst
+		}
+		for win, bytes := range wins {
+			dst[win] += bytes
+		}
+	}
+	for win, sw := range src.occ {
+		dw := r.occ[win]
+		if dw == nil {
+			cp := *sw
+			r.occ[win] = &cp
+			continue
+		}
+		dw.lastOcc = sw.lastOcc
+		dw.lastNet = sw.lastNet
+		dw.checks += sw.checks
+	}
+	r.flowNet += src.flowNet
+	r.flowRuns += src.flowRuns
+}

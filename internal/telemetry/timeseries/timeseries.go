@@ -25,6 +25,8 @@
 package timeseries
 
 import (
+	"errors"
+	"fmt"
 	"math/bits"
 	"sort"
 	"sync"
@@ -242,6 +244,10 @@ const (
 type Dump struct {
 	// Trigger says why the dump was taken.
 	Trigger Trigger `json:"trigger"`
+	// Series names the series that tripped the trigger (the latency series
+	// whose window burned its SLO budget); empty for fault-window dumps,
+	// which are armed from the fault plan rather than a series.
+	Series string `json:"series,omitempty"`
 	// At is the virtual time of the trigger.
 	At simtime.Time `json:"at"`
 	// Window is the window index containing At.
@@ -316,12 +322,19 @@ type Recorder struct {
 	trigNext int
 
 	// Burn-rate alarm state for the newest latency window seen.
-	alarmWin   int64
-	alarmCount int64
-	alarmOver  int64
+	alarmWin    int64
+	alarmCount  int64
+	alarmOver   int64
+	alarmSeries string
 
 	dumps        []Dump
 	dumpsDropped int
+
+	// Page byte-flow ledger (see flow.go).
+	flows    map[flowKey]map[int64]int64
+	occ      map[int64]*occWindow
+	flowNet  int64
+	flowRuns int
 }
 
 // NewRecorder creates a recorder with cfg (zero fields select defaults).
@@ -332,6 +345,8 @@ func NewRecorder(cfg Config) *Recorder {
 		series:   make(map[seriesKey]*seriesData),
 		flight:   make([]FlightEvent, 0, cfg.FlightCapacity),
 		alarmWin: -1 << 62,
+		flows:    make(map[flowKey]map[int64]int64),
+		occ:      make(map[int64]*occWindow),
 	}
 }
 
@@ -415,6 +430,7 @@ func (r *Recorder) observeLocked(at simtime.Time, name string, d Dims, v int64, 
 		}
 		if win == r.alarmWin {
 			r.alarmCount++
+			r.alarmSeries = name
 			if v >= int64(r.cfg.SLO) {
 				r.alarmOver++
 			}
@@ -434,7 +450,7 @@ func (r *Recorder) observeLocked(at simtime.Time, name string, d Dims, v int64, 
 func (r *Recorder) sealAlarmWindow(now simtime.Time) {
 	if r.alarmCount > 0 &&
 		float64(r.alarmOver) >= r.cfg.BurnThreshold*float64(r.alarmCount) {
-		r.dump(TriggerSLOBurn, now)
+		r.dump(TriggerSLOBurn, r.alarmSeries, now)
 	}
 	r.alarmCount = 0
 	r.alarmOver = 0
@@ -506,14 +522,14 @@ func (r *Recorder) ArmFaultStarts(starts []simtime.Time) {
 // crossTriggers fires a dump for every armed fault start at or before now.
 func (r *Recorder) crossTriggers(now simtime.Time) {
 	for r.trigNext < len(r.trigAt) && now >= r.trigAt[r.trigNext] {
-		r.dump(TriggerFaultWindow, r.trigAt[r.trigNext])
+		r.dump(TriggerFaultWindow, "", r.trigAt[r.trigNext])
 		r.trigNext++
 	}
 }
 
 // dump snapshots the flight ring's events from the last FlightWindows
 // windows before at.
-func (r *Recorder) dump(trigger Trigger, at simtime.Time) {
+func (r *Recorder) dump(trigger Trigger, series string, at simtime.Time) {
 	if len(r.dumps) >= r.cfg.MaxDumps {
 		r.dumpsDropped++
 		return
@@ -535,6 +551,7 @@ func (r *Recorder) dump(trigger Trigger, at simtime.Time) {
 	}
 	r.dumps = append(r.dumps, Dump{
 		Trigger: trigger,
+		Series:  series,
 		At:      at,
 		Window:  r.windowOf(at),
 		Events:  events,
@@ -583,15 +600,26 @@ func (r *Recorder) Config() Config {
 	return r.cfg
 }
 
-// MergeFrom folds src's rollups, flight events, and dumps into r: series
-// points merge additively per (series, window) cell, gauge "last" values
-// take src's (the later run in merge order), and flight events append in
-// src's retained order. Shard recorders folded back into a shared sink in a
-// fixed order therefore yield the same state a serial run would. No-op when
-// either side is nil or both are the same recorder.
-func (r *Recorder) MergeFrom(src *Recorder) {
-	if r == nil || src == nil || r == src {
-		return
+// MergeFrom folds src's rollups, flow ledger, flight events, and dumps into
+// r: series points and flow cells merge additively per window, gauge "last"
+// values take src's (the later run in merge order), and flight events append
+// in src's retained order. Shard recorders folded back into a shared sink in
+// a fixed order therefore yield the same state a serial run would.
+//
+// Merging a nil recorder (either side) is a defined no-op. Merging a
+// recorder into itself errors — the additive fold would double every point —
+// as does merging recorders with different rollup windows, whose window
+// indices are incommensurable.
+func (r *Recorder) MergeFrom(src *Recorder) error {
+	if r == nil || src == nil {
+		return nil
+	}
+	if r == src {
+		return errors.New("timeseries: cannot merge a recorder into itself")
+	}
+	if r.cfg.Window != src.cfg.Window {
+		return fmt.Errorf("timeseries: cannot merge mismatched windows (%s into %s)",
+			src.cfg.Window, r.cfg.Window)
 	}
 	src.mu.Lock()
 	defer src.mu.Unlock()
@@ -653,6 +681,8 @@ func (r *Recorder) MergeFrom(src *Recorder) {
 		r.dumps = append(r.dumps, d)
 	}
 	r.dumpsDropped += src.dumpsDropped
+	r.mergeFlowsLocked(src)
+	return nil
 }
 
 // Reset drops all series, flight events, dumps, and alarm state, keeping
@@ -669,8 +699,13 @@ func (r *Recorder) Reset() {
 	r.alarmWin = -1 << 62
 	r.alarmCount = 0
 	r.alarmOver = 0
+	r.alarmSeries = ""
 	r.dumps = nil
 	r.dumpsDropped = 0
+	r.flows = make(map[flowKey]map[int64]int64)
+	r.occ = make(map[int64]*occWindow)
+	r.flowNet = 0
+	r.flowRuns = 0
 	r.mu.Unlock()
 }
 
