@@ -20,6 +20,8 @@ import (
 	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/mglru"
 	"github.com/faasmem/faasmem/internal/pagemem"
+	"github.com/faasmem/faasmem/internal/rmem"
+	"github.com/faasmem/faasmem/internal/sharedmem"
 	"github.com/faasmem/faasmem/internal/simtime"
 	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
@@ -604,6 +606,42 @@ func BenchmarkPoolDensity(b *testing.B) {
 		})
 		if len(rows) != 3 {
 			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkSharedRegionMap measures the shared-region hot path: mapping and
+// unmapping a 64 MB pool-resident region (refcount bookkeeping plus the
+// demand-fetch pricing of ShareRead) without advancing virtual time.
+func BenchmarkSharedRegionMap(b *testing.B) {
+	e := simtime.NewEngine()
+	pool := rmem.NewPool(rmem.Config{Node: &memnode.Config{}})
+	m := sharedmem.New(sharedmem.Config{PageSize: 4096, Pool: pool})
+	if _, _, err := m.Create(e.Now(), "r", "t", 64<<20); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Map(e.Now(), "r"); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Unmap(e.Now(), "r"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDAGPipeline runs the ETL pipeline workflow end to end with
+// pool-backed state passing: four chained stages, region create/map/release
+// per hop, dependency-ready scheduling through the platform.
+func BenchmarkDAGPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row := experiments.RunWorkflowCell(experiments.StatefulOptions{
+			Runs: 2, Seed: int64(i),
+		}, "pipeline", true, 0, 0)
+		if row.Completed != 2 || !row.Drained {
+			b.Fatalf("bad run: %+v", row)
 		}
 	}
 }

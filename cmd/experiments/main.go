@@ -46,7 +46,7 @@ type job struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience,ext-observe,ext-drilldown")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience,ext-observe,ext-drilldown,ext-stateful")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
@@ -416,6 +416,18 @@ func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) ti
 			})
 			experiments.PrintDrilldown(w, cells)
 			return cells, nil
+		}},
+		{"ext-stateful", func(w io.Writer) (any, map[string]string) {
+			opt := experiments.StatefulOptions{Seed: seed}
+			if quick {
+				opt.Workflows = []string{"pipeline", "fanout", "websession"}
+				opt.Widths = []int{8}
+				opt.PressuresMB = []int{64}
+				opt.Runs = 3
+			}
+			rows := experiments.Stateful(opt)
+			experiments.PrintStateful(w, rows)
+			return rows, nil
 		}},
 	}
 }

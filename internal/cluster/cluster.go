@@ -143,6 +143,23 @@ func (c *Cluster) Invoke(fnID string) {
 	n.Invoke(fnID)
 }
 
+// InvokeStage routes one workflow-stage request carrying state-passing
+// hooks, with the same fault-aware node choice as Invoke.
+func (c *Cluster) InvokeStage(fnID string, hooks *faas.StageHooks) {
+	c.submitted++
+	n, faultResched := c.pickNode(fnID)
+	if faultResched {
+		c.rescheduledFault++
+		if c.cfg.Node.Timeline.Enabled() {
+			c.cfg.Node.Timeline.AddCounter(c.engine.Now(), timeseries.SeriesRescheduledFault,
+				timeseries.Dims{Node: "rack", Tenant: fnID}, 1)
+		}
+		n.InvokeStageRescheduled(fnID, hooks)
+		return
+	}
+	n.InvokeStage(fnID, hooks)
+}
+
 // ScheduleInvocations schedules a timeline; routing happens at fire time so
 // decisions see current node state.
 func (c *Cluster) ScheduleInvocations(fnID string, times []simtime.Time) {

@@ -58,11 +58,19 @@ type Container struct {
 	curFallbackLat time.Duration
 	curResched     bool
 	curReinit      bool
-	idleSince      simtime.Time
-	launched       simtime.Time
-	loadedAt       simtime.Time // when the runtime finished loading
-	recycleEv      simtime.Handle
-	dead           bool
+	// curHooks carries the current request's workflow state-passing
+	// callbacks (nil outside workflows); curStateIn/curStateOut and their
+	// byte counts record what the hooks priced, for span attribution.
+	curHooks         *StageHooks
+	curStateIn       time.Duration
+	curStateOut      time.Duration
+	curStateInBytes  int64
+	curStateOutBytes int64
+	idleSince        simtime.Time
+	launched         simtime.Time
+	loadedAt         simtime.Time // when the runtime finished loading
+	recycleEv        simtime.Handle
+	dead             bool
 	// offCand/offMoved are per-container scratch for OffloadPages victim
 	// selection, reused across calls to keep steady-state offloads
 	// allocation-free.
@@ -242,7 +250,8 @@ func (c *Container) execute(arrival simtime.Time) {
 	c.curStall = faultLat
 	c.curQueueing = stall.Queueing
 	c.curBacklogBytes = stall.BacklogBytes
-	latency := prof.ExecTime + faultLat
+	stateLat := c.priceStateHooks(now)
+	latency := prof.ExecTime + faultLat + stateLat
 	if faultLat > 0 {
 		// PSI accounts the stall at its completion time, like the kernel.
 		c.psi.AddStall(now+simtime.Time(latency), faultLat)
@@ -251,6 +260,25 @@ func (c *Container) execute(arrival simtime.Time) {
 	e.After(latency, func(e *simtime.Engine) {
 		c.finishRequest(arrival)
 	})
+}
+
+// priceStateHooks runs the request's workflow state-passing hooks at
+// execution start and returns the critical-path latency they add. State-out
+// is priced here too — the stage streams its output region while it
+// computes, so the produce cost overlaps execution and downstream stages
+// become ready at this stage's completion.
+func (c *Container) priceStateHooks(now simtime.Time) time.Duration {
+	h := c.curHooks
+	if h == nil {
+		return 0
+	}
+	if h.StateIn != nil {
+		c.curStateIn, c.curStateInBytes = h.StateIn(now)
+	}
+	if h.StateOut != nil {
+		c.curStateOut, c.curStateOutBytes = h.StateOut(now)
+	}
+	return c.curStateIn + c.curStateOut
 }
 
 // touchSpans touches the pages covered by byte spans relative to seg's
@@ -400,18 +428,29 @@ func (c *Container) finishRequest(arrival simtime.Time) {
 	// follow-on request reuses this container.
 	c.curReinit, c.curResched = false, false
 	c.curRetryWait, c.curFallbackLat = 0, 0
+	// The workflow Done hook fires once per completed request, then the
+	// hooks clear before any queued follow-on request reuses the container.
+	if h := c.curHooks; h != nil {
+		c.curHooks = nil
+		c.curStateIn, c.curStateOut = 0, 0
+		c.curStateInBytes, c.curStateOutBytes = 0, 0
+		if h.Done != nil {
+			h.Done(e, now)
+		}
+	}
 
 	c.pol.RequestEnd(e)
 
 	// Serve queued work before idling: a congested function keeps its
 	// containers busy back to back.
 	if len(c.fn.queue) > 0 {
-		arrival := c.fn.queue[0]
+		q := c.fn.queue[0]
 		c.fn.queue = c.fn.queue[1:]
 		c.fn.stats.WarmStarts++
 		c.p.met.warmStarts.Inc()
 		c.curKind = QueuedStart
-		c.execute(arrival)
+		c.curHooks = q.hooks
+		c.execute(q.at)
 		return
 	}
 
@@ -509,6 +548,26 @@ func (c *Container) buildInvocation(arrival, now simtime.Time) span.Invocation {
 			})
 		}
 		exec.Children = append(exec.Children, stall)
+	}
+	if c.curStateIn > 0 {
+		// State-in follows the fault stall: upstream regions map once the
+		// container's own remote set is resolved.
+		exec.Children = append(exec.Children, span.Span{
+			Phase: span.PhaseStateIn,
+			Start: c.started + simtime.Time(c.curStall),
+			Dur:   c.curStateIn,
+			Pages: c.curStateInBytes,
+		})
+	}
+	if c.curStateOut > 0 {
+		// State-out trails the exec span: the output region's transfer
+		// completes with the stage (streamed during compute).
+		exec.Children = append(exec.Children, span.Span{
+			Phase: span.PhaseStateOut,
+			Start: now - simtime.Time(c.curStateOut),
+			Dur:   c.curStateOut,
+			Pages: c.curStateOutBytes,
+		})
 	}
 	root.Children = append(root.Children, exec)
 	return span.Invocation{
@@ -725,7 +784,7 @@ func (c *Container) OffloadPages(e *simtime.Engine, ids []pagemem.PageID) int {
 		// segment (memnode.Class numbering matches telemetry.Stage), so the
 		// trace and per-stage counters show which Pucket the savings came
 		// from.
-		var perStage [4]int64
+		var perStage [memnode.NumClasses]int64
 		for cls, n := range accepted {
 			perStage[cls] = int64(n)
 		}

@@ -209,6 +209,32 @@ type FunctionStats struct {
 	ReusedIntervals []time.Duration
 }
 
+// StageHooks attaches workflow state-passing callbacks to one invocation.
+// StateIn and StateOut are priced exactly once, at the request's execution
+// start (state-out overlaps compute: the stage streams its output region as
+// it runs), and their latencies extend the request. Done fires when the
+// request completes — the workflow engine's dependency bookkeeping. A
+// request that is replayed through a cold re-init carries its hooks to the
+// fresh container, so the pricing still happens exactly once, on the
+// execution that completes.
+type StageHooks struct {
+	// StateIn maps the stage's upstream shared-state regions (or prices
+	// their local re-derivation); returns added critical-path latency and
+	// the bytes moved, for span attribution.
+	StateIn func(now simtime.Time) (time.Duration, int64)
+	// StateOut produces the stage's output region into the pool (or prices
+	// local/storage hand-off); returns added latency and bytes moved.
+	StateOut func(now simtime.Time) (time.Duration, int64)
+	// Done observes the request's completion time.
+	Done func(e *simtime.Engine, finished simtime.Time)
+}
+
+// queuedReq is one request waiting behind the scale-out cap.
+type queuedReq struct {
+	at    simtime.Time
+	hooks *StageHooks
+}
+
 // Function is a registered function with its container fleet.
 type Function struct {
 	id      string
@@ -216,9 +242,9 @@ type Function struct {
 	idle    []*Container // LIFO: most recently idled last
 	live    int
 	stats   FunctionStats
-	// queue holds arrival times of requests waiting for a container when
-	// the scale-out cap is reached.
-	queue []simtime.Time
+	// queue holds requests waiting for a container when the scale-out cap
+	// is reached.
+	queue []queuedReq
 }
 
 // QueuedRequests returns the number of requests waiting for a container.
@@ -355,7 +381,7 @@ func (p *Platform) Invoke(fnID string) {
 	if f == nil {
 		panic("faas: invoke of unregistered function " + fnID)
 	}
-	p.dispatch(f, p.engine.Now(), false)
+	p.dispatch(f, p.engine.Now(), false, nil)
 }
 
 // InvokeRescheduled is Invoke for a request the cluster routed away from a
@@ -366,7 +392,29 @@ func (p *Platform) InvokeRescheduled(fnID string) {
 	if f == nil {
 		panic("faas: invoke of unregistered function " + fnID)
 	}
-	p.dispatch(f, p.engine.Now(), true)
+	p.dispatch(f, p.engine.Now(), true, nil)
+}
+
+// InvokeStage fires one workflow-stage request carrying state-passing
+// hooks. Apart from the hooks the request is an ordinary invocation: it
+// reuses idle containers, queues behind the scale-out cap, and rides the
+// fault-recovery machinery.
+func (p *Platform) InvokeStage(fnID string, hooks *StageHooks) {
+	f := p.fns[fnID]
+	if f == nil {
+		panic("faas: invoke of unregistered function " + fnID)
+	}
+	p.dispatch(f, p.engine.Now(), false, hooks)
+}
+
+// InvokeStageRescheduled is InvokeStage for a stage request the cluster
+// routed away from a fault-degraded node.
+func (p *Platform) InvokeStageRescheduled(fnID string, hooks *StageHooks) {
+	f := p.fns[fnID]
+	if f == nil {
+		panic("faas: invoke of unregistered function " + fnID)
+	}
+	p.dispatch(f, p.engine.Now(), true, hooks)
 }
 
 // ScheduleInvocations schedules a whole invocation timeline for a function.
@@ -377,7 +425,7 @@ func (p *Platform) ScheduleInvocations(fnID string, times []simtime.Time) {
 	}
 	for _, at := range times {
 		at := at
-		p.engine.At(at, func(*simtime.Engine) { p.dispatch(f, at, false) })
+		p.engine.At(at, func(*simtime.Engine) { p.dispatch(f, at, false, nil) })
 	}
 }
 
@@ -398,8 +446,9 @@ func (p *Platform) ReplayTrace(tr *trace.Trace, pick func(i int, f *trace.Functi
 
 // dispatch routes one request: reuse the most recently idled container, or
 // cold-start a new one. resched marks a request the cluster redirected away
-// from a fault-degraded node.
-func (p *Platform) dispatch(f *Function, arrival simtime.Time, resched bool) {
+// from a fault-degraded node; hooks carries workflow state-passing
+// callbacks (nil for plain invocations).
+func (p *Platform) dispatch(f *Function, arrival simtime.Time, resched bool, hooks *StageHooks) {
 	now := p.engine.Now()
 	if n := len(f.idle); n > 0 {
 		c := f.idle[n-1]
@@ -416,13 +465,14 @@ func (p *Platform) dispatch(f *Function, arrival simtime.Time, resched bool) {
 			p.met.warmStarts.Inc()
 		}
 		c.curResched = resched
+		c.curHooks = hooks
 		c.wake()
 		c.execute(arrival)
 		return
 	}
 	if p.cfg.MaxContainersPerFunction > 0 && f.live >= p.cfg.MaxContainersPerFunction {
 		// At the scale-out cap with every container busy: queue FIFO.
-		f.queue = append(f.queue, arrival)
+		f.queue = append(f.queue, queuedReq{at: arrival, hooks: hooks})
 		p.met.queuedReqs.Inc()
 		p.tel.Tracer.Record(telemetry.Event{
 			At: now, Kind: telemetry.KindRequestQueued, Actor: "node", Fn: f.id,
@@ -435,6 +485,7 @@ func (p *Platform) dispatch(f *Function, arrival simtime.Time, resched bool) {
 	c := p.launch(f)
 	c.curKind = ColdStart
 	c.curResched = resched
+	c.curHooks = hooks
 	// Cold start: the runtime loads, then the function initializes, then the
 	// pending request executes.
 	p.engine.After(f.profile.LaunchTime, func(e *simtime.Engine) {

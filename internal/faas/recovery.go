@@ -167,7 +167,8 @@ func (c *Container) executeFaulty(arrival simtime.Time) {
 	// backoff on the fresh container, and finishRequest resets it.
 	c.curRetryWait += stall.Backoff
 	c.curFallbackLat = 0
-	latency := prof.ExecTime + faultLat
+	stateLat := c.priceStateHooks(now)
+	latency := prof.ExecTime + faultLat + stateLat
 	if faultLat > 0 {
 		c.psi.AddStall(now+simtime.Time(latency), faultLat)
 	}
@@ -231,7 +232,8 @@ func (c *Container) recoverFetch(arrival simtime.Time, touches workload.Touches,
 		c.curBacklogBytes = 0
 		c.curRetryWait = stall.Backoff
 		c.curFallbackLat = fbLat
-		latency := c.fn.profile.ExecTime + c.curStall
+		stateLat := c.priceStateHooks(now)
+		latency := c.fn.profile.ExecTime + c.curStall + stateLat
 		if c.curStall > 0 {
 			c.psi.AddStall(now+simtime.Time(latency), c.curStall)
 		}
@@ -247,6 +249,7 @@ func (c *Container) recoverFetch(arrival simtime.Time, touches workload.Touches,
 	// request cannot re-enter this path for the same outage.
 	f := c.fn
 	resched := c.curResched
+	hooks := c.curHooks
 	waited := stall.Backoff
 	f.stats.ColdReinits++
 	c.p.met.coldReinits.Inc()
@@ -268,6 +271,9 @@ func (c *Container) recoverFetch(arrival simtime.Time, touches workload.Touches,
 		nc.curResched = resched
 		nc.curReinit = true
 		nc.curRetryWait = waited
+		// The replayed request keeps its workflow hooks: state passing is
+		// priced on the execution that completes, exactly once.
+		nc.curHooks = hooks
 		e.After(f.profile.LaunchTime, func(e *simtime.Engine) {
 			nc.runtimeLoaded(e.Now())
 			e.After(f.profile.InitTime, func(e *simtime.Engine) {

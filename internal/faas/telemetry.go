@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/telemetry"
 )
 
@@ -20,9 +21,10 @@ type platformMetrics struct {
 	readaheadPages *telemetry.Metric
 	coldReinits    *telemetry.Metric
 	fallbackPages  *telemetry.Metric
-	// offloadedPages is indexed by telemetry.Stage: pages moved to the pool
-	// per lifecycle segment — the per-stage visibility Figs. 8–9 need.
-	offloadedPages [4]*telemetry.Metric
+	// offloadedPages is indexed by telemetry.Stage (which mirrors
+	// memnode.Class): pages moved to the pool per lifecycle segment — the
+	// per-stage visibility Figs. 8–9 need.
+	offloadedPages [memnode.NumClasses]*telemetry.Metric
 	live           *telemetry.Metric
 	localBytes     *telemetry.Metric
 	remoteBytes    *telemetry.Metric
@@ -45,11 +47,12 @@ func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
 		readaheadPages: reg.Counter("faasmem_readahead_pages_total", "remote pages recalled by swap readahead"),
 		coldReinits:    reg.Counter("faasmem_cold_reinits_total", "containers discarded and relaunched after a fetch timeout"),
 		fallbackPages:  reg.Counter("faasmem_fallback_pages_total", "remote pages served from the local swap copy during outages"),
-		offloadedPages: [4]*telemetry.Metric{
+		offloadedPages: [memnode.NumClasses]*telemetry.Metric{
 			telemetry.StageNone:    reg.Counter("faasmem_pages_offloaded_unsegmented_total", "pages offloaded outside any tracked segment"),
 			telemetry.StageRuntime: reg.Counter("faasmem_pages_offloaded_runtime_total", "runtime-segment pages offloaded to the pool"),
 			telemetry.StageInit:    reg.Counter("faasmem_pages_offloaded_init_total", "init-segment pages offloaded to the pool"),
 			telemetry.StageExec:    reg.Counter("faasmem_pages_offloaded_exec_total", "exec-segment pages offloaded to the pool"),
+			telemetry.StageShared:  reg.Counter("faasmem_pages_offloaded_shared_total", "shared-region pages offloaded to the pool"),
 		},
 		live:        reg.Gauge("faasmem_live_containers", "containers currently alive on the node"),
 		localBytes:  reg.Gauge("faasmem_node_local_bytes", "node-local DRAM currently charged"),

@@ -68,6 +68,19 @@ type RunRequest struct {
 	// FaultSeed drives the fault schedule independently of Seed. Defaults
 	// to Seed.
 	FaultSeed int64 `json:"fault_seed"`
+	// Workflow names a built-in workflow DAG; when set the run executes the
+	// DAG (back-to-back, WorkflowRuns times) instead of a single-bench
+	// scenario, and Bench/MeanGapSec/Bursty/Policy are ignored.
+	Workflow string `json:"workflow"`
+	// StateMode selects how the workflow passes intermediate state: "pool"
+	// (shared regions on the memory pool, the default) or "reinit" (every
+	// consumer re-derives its inputs — the stateless baseline).
+	StateMode string `json:"state_mode"`
+	// WorkflowRuns is the number of chained workflow runs. Default 4.
+	WorkflowRuns int `json:"workflow_runs"`
+	// FanoutWidth scales the workflow's replicated stages; 0 keeps the
+	// shape's declared width. Max 64.
+	FanoutWidth int `json:"fanout_width"`
 }
 
 func (r *RunRequest) normalize() error {
@@ -104,6 +117,27 @@ func (r *RunRequest) normalize() error {
 	if r.FaultSeed == 0 {
 		r.FaultSeed = r.Seed
 	}
+	if r.Workflow != "" {
+		if _, err := workload.WorkflowByName(r.Workflow); err != nil {
+			return fmt.Errorf("unknown workflow %q (options: %s)", r.Workflow, strings.Join(workload.WorkflowNames(), ", "))
+		}
+	}
+	switch r.StateMode {
+	case "":
+		r.StateMode = "pool"
+	case "pool", "reinit":
+	default:
+		return fmt.Errorf("unknown state_mode %q (options: pool, reinit)", r.StateMode)
+	}
+	if r.WorkflowRuns < 0 || r.WorkflowRuns > 100 {
+		return fmt.Errorf("workflow_runs %d out of range [0, 100]", r.WorkflowRuns)
+	}
+	if r.WorkflowRuns == 0 {
+		r.WorkflowRuns = 4
+	}
+	if r.FanoutWidth < 0 || r.FanoutWidth > 64 {
+		return fmt.Errorf("fanout_width %d out of range [0, 64]", r.FanoutWidth)
+	}
 	return nil
 }
 
@@ -113,6 +147,13 @@ type RunResponse struct {
 	Policy   string              `json:"policy"`
 	Requests int                 `json:"requests"`
 	Outcome  experiments.Outcome `json:"outcome"`
+}
+
+// WorkflowRunResponse is the POST /run result for workflow requests.
+type WorkflowRunResponse struct {
+	Workflow string                  `json:"workflow"`
+	Mode     string                  `json:"mode"`
+	Row      experiments.StatefulRow `json:"row"`
 }
 
 // server holds the gateway's shared state: the telemetry registry every
@@ -186,6 +227,18 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.runs.Inc()
+	if req.Workflow != "" {
+		row := experiments.RunWorkflowCell(experiments.StatefulOptions{
+			Runs: req.WorkflowRuns,
+			Seed: req.Seed,
+		}, req.Workflow, req.StateMode == "pool", req.FanoutWidth, 0)
+		writeJSON(w, http.StatusOK, WorkflowRunResponse{
+			Workflow: req.Workflow,
+			Mode:     req.StateMode,
+			Row:      row,
+		})
+		return
+	}
 	duration := time.Duration(req.DurationSec * float64(time.Second))
 	keepAlive := time.Duration(req.KeepAliveSec * float64(time.Second))
 	fn := trace.GenerateFunction(req.Bench, duration,
@@ -225,7 +278,7 @@ var experimentNames = []string{
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
 	"ext-percentile", "ext-rack", "ext-attrib", "ext-pool-density",
-	"ext-resilience", "ext-observe", "ext-drilldown",
+	"ext-resilience", "ext-observe", "ext-drilldown", "ext-stateful",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -301,6 +354,14 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.Drilldown(experiments.DrilldownOptions{
 			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute,
 			Seed: seed, FaultSeed: seed,
+		})
+	case "ext-stateful":
+		rows = experiments.Stateful(experiments.StatefulOptions{
+			Workflows:   []string{"pipeline", "fanout", "websession"},
+			Widths:      []int{8},
+			PressuresMB: []int{64},
+			Runs:        3,
+			Seed:        seed,
 		})
 	default:
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", name))

@@ -262,8 +262,8 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 24 {
-		t.Fatalf("experiments = %d, want 24", len(names))
+	if len(names) != 25 {
+		t.Fatalf("experiments = %d, want 25", len(names))
 	}
 	// Every advertised name must actually dispatch.
 	for _, n := range names {
@@ -316,6 +316,115 @@ func TestRunFaultIntensity(t *testing.T) {
 	}
 	if resp.Outcome.Recovery != nil {
 		t.Fatalf("fault-free run returned recovery stats: %+v", resp.Outcome.Recovery)
+	}
+}
+
+// TestRunWorkflow checks the stateful-workflow knobs on POST /run: a
+// workflow request runs the DAG in both state modes, pool mode takes the
+// region path, and the response keeps the JSON charset contract.
+func TestRunWorkflow(t *testing.T) {
+	rec := do(t, http.MethodPost, "/run",
+		`{"workflow":"fanout","state_mode":"pool","workflow_runs":2,"fanout_width":8,"seed":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var resp WorkflowRunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Workflow != "fanout" || resp.Mode != "pool" {
+		t.Fatalf("echo = %+v", resp)
+	}
+	r := resp.Row
+	if r.Completed != 2 || r.Runs != 2 {
+		t.Fatalf("completed %d of %d runs", r.Completed, r.Runs)
+	}
+	if r.Width != 8 || r.Regions == 0 || r.ShareReadMB == 0 {
+		t.Fatalf("pool run took no region path: %+v", r)
+	}
+	if !r.AuditOK || !r.Drained {
+		t.Fatalf("audit/drain violated: %+v", r)
+	}
+
+	rec = do(t, http.MethodPost, "/run", `{"workflow":"fanout","state_mode":"reinit","workflow_runs":2,"seed":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reinit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Row.Regions != 0 || resp.Row.Reinits == 0 {
+		t.Fatalf("reinit run touched the pool state path: %+v", resp.Row)
+	}
+}
+
+// TestRunWorkflowValidation pins the 400s on the stateful /run knobs: out of
+// range values are rejected with the valid options listed, not clamped.
+func TestRunWorkflowValidation(t *testing.T) {
+	cases := []struct {
+		body string
+		want string // substring of the error message
+	}{
+		{`{"workflow":"nope"}`, "(options: pipeline,"},
+		{`{"workflow":"fanout","state_mode":"storage"}`, "(options: pool, reinit)"},
+		{`{"workflow":"fanout","fanout_width":65}`, "out of range [0, 64]"},
+		{`{"workflow":"fanout","fanout_width":-1}`, "out of range [0, 64]"},
+		{`{"workflow":"fanout","workflow_runs":101}`, "out of range [0, 100]"},
+	}
+	for i, tc := range cases {
+		rec := do(t, http.MethodPost, "/run", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400: %s", i, rec.Code, rec.Body.String())
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("case %d: body %q missing %q", i, rec.Body.String(), tc.want)
+		}
+	}
+}
+
+// TestRunWorkflowDeterministicAcrossCalls pins that identical workflow
+// requests produce byte-identical responses.
+func TestRunWorkflowDeterministicAcrossCalls(t *testing.T) {
+	body := `{"workflow":"pipeline","state_mode":"pool","workflow_runs":2,"seed":9}`
+	a := do(t, http.MethodPost, "/run", body).Body.String()
+	b := do(t, http.MethodPost, "/run", body).Body.String()
+	if a != b {
+		t.Fatal("identical workflow requests returned different outcomes")
+	}
+}
+
+// TestExperimentStateful smoke-runs the ext-stateful endpoint.
+func TestExperimentStateful(t *testing.T) {
+	rec := do(t, http.MethodPost, "/experiments/ext-stateful?seed=2", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var resp struct {
+		Experiment string           `json:"experiment"`
+		Rows       []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Experiment != "ext-stateful" || len(resp.Rows) == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	for _, row := range resp.Rows {
+		for _, key := range []string{"workflow", "mode", "mean_run_sec", "p99_run_sec", "audit_ok", "drained"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("row missing %q: %v", key, row)
+			}
+		}
+		if ok, _ := row["audit_ok"].(bool); !ok {
+			t.Fatalf("flow audit violated in row %v", row)
+		}
 	}
 }
 

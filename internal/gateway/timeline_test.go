@@ -154,6 +154,7 @@ func TestContentTypesAndMethodNotAllowed(t *testing.T) {
 		{http.MethodPost, "/flows"},
 		{http.MethodGet, "/run"},
 		{http.MethodGet, "/replay"},
+		{http.MethodGet, "/experiments/ext-stateful"},
 		{http.MethodDelete, "/healthz"},
 	}
 	for _, tc := range wrongMethod {

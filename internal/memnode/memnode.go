@@ -53,8 +53,14 @@ const (
 	ClassInit
 	// ClassExec is an exec-segment temporary.
 	ClassExec
+	// ClassShared is a page of a named shared-state region: intermediate
+	// state a workflow stage produced into the pool for downstream stages to
+	// map read-shared (internal/sharedmem). Region entries are keyed by the
+	// region's synthetic owner, not dedup-merged — two regions with the same
+	// tenant hold distinct content.
+	ClassShared
 	// NumClasses sizes per-class arrays.
-	NumClasses = 4
+	NumClasses = 5
 )
 
 func (c Class) String() string {
@@ -65,6 +71,8 @@ func (c Class) String() string {
 		return "init"
 	case ClassExec:
 		return "exec"
+	case ClassShared:
+		return "shared"
 	default:
 		return "other"
 	}
@@ -73,13 +81,15 @@ func (c Class) String() string {
 // Shared reports whether the class dedups across containers of one function.
 // Runtime and init pages are materialized from the same image/initialization
 // and are near-identical between containers; exec temporaries are per-request
-// private data.
+// private data. ClassShared regions share by *mapping* (many readers of one
+// owner's entry), not by content dedup, so they key privately here.
 func (c Class) Shared() bool { return c == ClassRuntime || c == ClassInit }
 
 // victimOrder is the eviction class priority, most evictable first: private
-// exec/other pages go before the shared runtime copy, and the init copy —
-// the highest-fan-in dedup target — is evicted last.
-var victimOrder = [NumClasses]Class{ClassExec, ClassOther, ClassRuntime, ClassInit}
+// exec/other pages go first, then shared-state regions (their consumers pay a
+// tier surcharge on the next map, never lose data), then the runtime copy,
+// and the init copy — the highest-fan-in dedup target — is evicted last.
+var victimOrder = [NumClasses]Class{ClassExec, ClassOther, ClassShared, ClassRuntime, ClassInit}
 
 // Config describes a memory node. The zero value gets workable defaults.
 type Config struct {
@@ -569,6 +579,57 @@ func (n *Node) Recall(owner, fn string, class Class, pages int) RecallCost {
 	}
 	n.syncGauges()
 	return RecallCost{Pages: pages, Latency: lat}
+}
+
+// ReadCost prices reading pages an owner holds *without* releasing them —
+// the pool-side share of mapping a shared-state region read-shared: the
+// fraction of the resident copy living compressed pays DecompressLatency per
+// page, the spilled fraction SpillLatency, exactly like Recall, but the
+// holdings, the ledger, and the resident copy are untouched so the next
+// consumer can map the same region. The entry is touched (MRU) — a region
+// under active mapping resists eviction.
+func (n *Node) ReadCost(owner, fn string, class Class, pages int) RecallCost {
+	if pages <= 0 {
+		return RecallCost{}
+	}
+	key := n.key(owner, fn, class)
+	e := n.entries[key]
+	if e == nil {
+		return RecallCost{}
+	}
+	cur := e.pages
+	if e.shared {
+		cur = e.refs[owner]
+	}
+	if pages > cur {
+		pages = cur
+	}
+	if pages == 0 {
+		return RecallCost{}
+	}
+	var lat time.Duration
+	if rt := e.residentTarget(); rt > 0 {
+		comp := float64(e.comp) / float64(rt) * float64(pages)
+		spill := float64(e.spill) / float64(rt) * float64(pages)
+		dec := time.Duration(comp * float64(n.cfg.DecompressLatency))
+		lat = dec + time.Duration(spill*float64(n.cfg.SpillLatency))
+		n.decompressTime += dec
+	}
+	n.lruTouch(e)
+	return RecallCost{Pages: pages, Latency: lat}
+}
+
+// OwnerPages reports one owner's logical page holdings of a single class —
+// what a region manager can still read back for its consumers.
+func (n *Node) OwnerPages(owner, fn string, class Class) int {
+	e := n.entries[n.key(owner, fn, class)]
+	if e == nil {
+		return 0
+	}
+	if e.shared {
+		return e.refs[owner]
+	}
+	return e.pages
 }
 
 // DiscardOwner drops everything a container holds (its recycle path) without

@@ -1,0 +1,84 @@
+package rmem
+
+import (
+	"time"
+
+	"github.com/faasmem/faasmem/internal/memnode"
+	"github.com/faasmem/faasmem/internal/simtime"
+	"github.com/faasmem/faasmem/internal/telemetry"
+	"github.com/faasmem/faasmem/internal/telemetry/timeseries"
+)
+
+// This file is the pool side of shared-state regions (internal/sharedmem):
+// a consumer maps a region read-shared, pulling its bytes across the link
+// like a demand-fault batch, but the pool keeps the resident copy so the
+// next consumer can map the same region. Occupancy is therefore unchanged —
+// the ledger records the movement as the direction-0 FlowShareRead so the
+// conservation audit still holds bytes to account.
+
+// ShareRead prices a read-shared mapping of pages held by owner (a region's
+// synthetic owner) under tenant fn: pipelined demand fetches plus wire time
+// plus the memnode tier surcharge for compressed/spilled fractions, with the
+// same saturation inflation as FaultBatchDetail. The pool's byte ledger and
+// the owner's holdings are untouched. Returns an error while the remote path
+// is down (fault plans); the caller replays the producer instead.
+func (p *Pool) ShareRead(now simtime.Time, owner, fn string, pages int, pageBytes int64) (FaultStall, error) {
+	if pages < 0 || pageBytes < 0 {
+		panic("rmem: negative share read")
+	}
+	if pages == 0 {
+		return FaultStall{}, nil
+	}
+	if err := p.probeHealth(now); err != nil {
+		return FaultStall{}, err
+	}
+	var tier time.Duration
+	if p.node != nil {
+		tier = p.node.ReadCost(owner, fn, memnode.ClassShared, pages).Latency
+	}
+	total := int64(pages) * pageBytes
+	p.meter[Recall].Record(now, total)
+	p.met.recallBytes.Add(total)
+	if p.tl != nil {
+		p.tl.AddFlow(now, timeseries.FlowShareRead, timeseries.Dims{
+			Node: "pool", Tenant: fn, Class: memnode.ClassShared.String(),
+		}, total)
+		p.tl.FlowOccupancy(now, p.used)
+	}
+	rounds := (pages + p.cfg.FaultPipeline - 1) / p.cfg.FaultPipeline
+	lat := time.Duration(rounds)*p.cfg.FaultLatency + p.transferTimeAt(now, total)
+	stall := FaultStall{BacklogBytes: p.BacklogBytes(now), Tier: tier}
+	if p.flt != nil {
+		if f := p.flt.LatencyFactor(now); f > 1 {
+			stall.Injected = time.Duration(float64(time.Duration(rounds)*p.cfg.FaultLatency) * (f - 1))
+			lat += stall.Injected
+			p.met.injectedStall.Add(stall.Injected.Microseconds())
+		}
+	}
+	util := p.Utilization(now)
+	if util > p.cfg.SaturationPoint {
+		over := (util - p.cfg.SaturationPoint) / (1 - p.cfg.SaturationPoint)
+		if over > 1 {
+			over = 1
+		}
+		stall.Queueing = time.Duration(float64(lat) * over * p.cfg.SaturationFactor)
+		lat += stall.Queueing
+		p.recordSaturation(now, util)
+	}
+	stall.Total = lat + tier
+	p.tr.Record(telemetry.Event{
+		At: now, Dur: stall.Total, Kind: telemetry.KindLinkTransfer, Actor: "link",
+		Value: total, Aux: int64(Recall),
+	})
+	return stall, nil
+}
+
+// SharedPages reports how many pages of a region's synthetic owner the
+// pool-side memory node still holds under ClassShared (equal to what was
+// admitted at produce time; 0 without a node).
+func (p *Pool) SharedPages(owner, fn string) int {
+	if p.node == nil {
+		return 0
+	}
+	return p.node.OwnerPages(owner, fn, memnode.ClassShared)
+}

@@ -66,6 +66,13 @@ const (
 	// PhaseFallback is the local-swap read time serving pages whose pool
 	// fetch timed out (fault-injection recovery).
 	PhaseFallback
+	// PhaseStateIn is the time a workflow stage spent mapping its upstream
+	// shared-state region from the pool (state-passing input latency).
+	PhaseStateIn
+	// PhaseStateOut is the time a workflow stage spent producing its output
+	// region into the pool (or re-initializing state when pool-backed
+	// passing is off or the region was lost).
+	PhaseStateOut
 	// NumPhases bounds Phase-indexed arrays.
 	NumPhases
 )
@@ -82,6 +89,8 @@ var phaseNames = [NumPhases]string{
 	PhaseBacklog:    "backlog",
 	PhaseRetry:      "retry",
 	PhaseFallback:   "fallback",
+	PhaseStateIn:    "state-in",
+	PhaseStateOut:   "state-out",
 }
 
 // String names the phase for tables and trace viewers.

@@ -11,8 +11,8 @@ import (
 // with the residue column last. Fixed columns keep the output diff-able for
 // golden files.
 var tablePhases = []Phase{
-	PhaseQueue, PhaseLaunch, PhaseInit, PhaseExec,
-	PhaseFaultStall, PhaseRestore, PhaseBacklog,
+	PhaseQueue, PhaseLaunch, PhaseInit, PhaseStateIn, PhaseExec,
+	PhaseStateOut, PhaseFaultStall, PhaseRestore, PhaseBacklog,
 	PhaseRetry, PhaseFallback, PhaseOther,
 }
 

@@ -171,6 +171,9 @@ const (
 	StageInit
 	// StageExec is the unmonitored execution segment.
 	StageExec
+	// StageShared is a shared-state region segment (pool-backed workflow
+	// state; mirrors memnode.ClassShared).
+	StageShared
 )
 
 // String names the stage.
@@ -182,6 +185,8 @@ func (s Stage) String() string {
 		return "init"
 	case StageExec:
 		return "exec"
+	case StageShared:
+		return "shared"
 	default:
 		return ""
 	}

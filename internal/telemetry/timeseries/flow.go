@@ -38,18 +38,23 @@ const (
 	FlowCompress
 	// FlowSpill moves pool bytes into the spill tier (intra-pool).
 	FlowSpill
+	// FlowShareRead copies shared-region bytes to a mapping consumer without
+	// releasing the pool's resident copy — pool occupancy is unchanged, so
+	// the flow is direction-0 like the intra-pool tier moves.
+	FlowShareRead
 	// NumFlows is the number of flow kinds.
 	NumFlows
 )
 
 var flowNames = [NumFlows]string{
-	FlowOffload:  "offload",
-	FlowRecall:   "recall",
-	FlowFault:    "fault",
-	FlowFallback: "fallback",
-	FlowDiscard:  "discard",
-	FlowCompress: "compress",
-	FlowSpill:    "spill",
+	FlowOffload:   "offload",
+	FlowRecall:    "recall",
+	FlowFault:     "fault",
+	FlowFallback:  "fallback",
+	FlowDiscard:   "discard",
+	FlowCompress:  "compress",
+	FlowSpill:     "spill",
+	FlowShareRead: "share-read",
 }
 
 // String names the flow kind.
@@ -61,13 +66,14 @@ func (f FlowKind) String() string {
 }
 
 var flowDirections = [NumFlows]int{
-	FlowOffload:  +1,
-	FlowRecall:   -1,
-	FlowFault:    -1,
-	FlowFallback: -1,
-	FlowDiscard:  -1,
-	FlowCompress: 0,
-	FlowSpill:    0,
+	FlowOffload:   +1,
+	FlowRecall:    -1,
+	FlowFault:     -1,
+	FlowFallback:  -1,
+	FlowDiscard:   -1,
+	FlowCompress:  0,
+	FlowSpill:     0,
+	FlowShareRead: 0,
 }
 
 // Direction is the flow's sign on pool occupancy: +1 inflow, -1 outflow,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 )
@@ -68,11 +69,46 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON implements json.Unmarshaler and validates the result.
+// checkField rejects non-finite and negative numeric profile fields at
+// decode time, before unit conversion can fold them into nonsense byte
+// counts or durations.
+func checkField(v float64, name, field string) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("workload: profile %q: %s must be finite, got %v", name, field, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("workload: profile %q: %s must be non-negative, got %v", name, field, v)
+	}
+	return nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the result:
+// memory sizes and durations must be finite and non-negative, then the
+// structural Validate pass runs on the converted profile.
 func (p *Profile) UnmarshalJSON(data []byte) error {
 	var j profileJSON
 	if err := json.Unmarshal(data, &j); err != nil {
 		return fmt.Errorf("workload: profile: %w", err)
+	}
+	for _, f := range []struct {
+		v     float64
+		field string
+	}{
+		{j.RuntimeMB, "runtime_mb"},
+		{j.RuntimeHotMB, "runtime_hot_mb"},
+		{j.InitMB, "init_mb"},
+		{j.InitHotMB, "init_hot_mb"},
+		{j.JitterMB, "jitter_mb"},
+		{j.JitterRegionMB, "jitter_region_mb"},
+		{j.ExecMB, "exec_mb"},
+		{j.ExecTimeSec, "exec_time_sec"},
+		{j.InitTimeSec, "init_time_sec"},
+		{j.LaunchTimeSec, "launch_time_sec"},
+		{j.QuotaMB, "quota_mb"},
+	} {
+		if err := checkField(f.v, j.Name, f.field); err != nil {
+			return err
+		}
 	}
 	switch j.Language {
 	case "Node.js", "node", "nodejs", "":
