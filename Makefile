@@ -28,7 +28,7 @@ bench:
 # (bench_gate.txt, which records allocs/op for the regression gate), the JSON
 # snapshot, and a per-bench speedup table against the latest committed
 # BENCH_*.json printed to stderr.
-BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|DisabledTimeline|DisabledExemplars|PoolDensity|MemnodeOffload|EngineSchedule|EngineTimerWheel|SharedRegionMap|DAGPipeline
+BENCH_GATE = Fig|Table|BarrierInsert|PucketOffloadScan|HarnessParallelFanout|DisabledSpans|DisabledTimeline|DisabledExemplars|PoolDensity|MemnodeOffload|MergeLookup|EngineSchedule|EngineTimerWheel|SharedRegionMap|DAGPipeline
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem . 2>&1 | tee bench_gate.txt | $(GO) run ./cmd/benchjson -baseline BENCH_BASELINE.json -latest 'BENCH_*.json' -allocs-gate 10 -o BENCH_3.json
 	@echo "wrote BENCH_3.json (raw log with allocs/op: bench_gate.txt)"
@@ -54,6 +54,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadTraceJSON$$'     -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzReadProfiles$$'      -fuzztime=$(FUZZTIME) ./internal/workload
 	$(GO) test -run='^$$' -fuzz='^FuzzWorkflowDAG$$'       -fuzztime=$(FUZZTIME) ./internal/faas
+	$(GO) test -run='^$$' -fuzz='^FuzzMergeDomains$$'      -fuzztime=$(FUZZTIME) ./internal/memnode
 
 # Regenerate every figure/table at paper scale (see EXPERIMENTS.md).
 experiments:

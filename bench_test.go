@@ -671,6 +671,48 @@ func BenchmarkMemnodeOffload(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeLookup measures the merge-domain hot path at steady state:
+// dedup-hit offloads from two functions of one tenant land on the same
+// tenant-wide master, and the recalls that hand the pages back are served by
+// the shared cache tier. Gate: 0 allocs/op — the domain memo, the refcount
+// bookkeeping, and the cache-hit path must all stay allocation-free.
+func BenchmarkMergeLookup(b *testing.B) {
+	node := memnode.New(memnode.Config{
+		MergeScope: memnode.MergeTenant,
+		TenantOf:   func(fn string) string { return fn[:1] },
+		CacheBytes: 64 << 20,
+	})
+	fns := [2]string{"t1", "t2"} // same first-letter tenant: one merge domain
+	var loopOwners [2]string
+	for i, fn := range fns {
+		// Anchors pin the master's size so the benchmarked recalls never
+		// resize it, and a first read admits the master to the cache.
+		node.Offload(fn+"#a", fn, memnode.ClassRuntime, 192)
+		loopOwners[i] = fn + "#b"
+		node.Offload(loopOwners[i], fn, memnode.ClassRuntime, 64)
+	}
+	node.ReadCost("t1#a", "t1", memnode.ClassRuntime, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn := fns[i%2]
+		owner := loopOwners[i%2]
+		if got := node.Offload(owner, fn, memnode.ClassRuntime, 64); got != 64 {
+			b.Fatalf("offload accepted %d of 64", got)
+		}
+		if out := node.Recall(owner, fn, memnode.ClassRuntime, 64); out.Pages != 64 || out.Latency != 0 {
+			b.Fatalf("recall = %+v, want 64 pages from cache", out)
+		}
+	}
+	b.StopTimer()
+	if node.MergedPages() == 0 {
+		b.Fatal("loop never exercised the widened-domain merge path")
+	}
+	if err := node.CheckInvariants(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkAblationRequestWindow compares §5.2's adaptive request-window
 // against fixed windows on the Web workload: a window of 1 offloads cold
 // init pages eagerly (recalling the Pareto tail), a large fixed window

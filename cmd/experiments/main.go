@@ -46,7 +46,7 @@ type job struct {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-resilience,ext-observe,ext-drilldown,ext-stateful")
+	only := flag.String("only", "", "comma-separated subset: fig1,fig2,fig4,fig5,fig6,fig8,fig9,fig12,table1,fig13,fig14,fig15,fig16,ext-pools,ext-coldstart,ext-readahead,ext-keepalive,ext-percentile,ext-rack,ext-attrib,ext-pool-density,ext-merge,ext-resilience,ext-observe,ext-drilldown,ext-stateful")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 42, "random seed for all synthetic traces")
 	jsonDir := flag.String("json", "", "also write each experiment's rows as JSON files into this directory (like the artifact's result files)")
@@ -384,6 +384,14 @@ func buildJobs(seed int64, quick bool, scale func(full, quickv time.Duration) ti
 				Seed:     seed,
 			})
 			experiments.PrintPoolDensity(w, rows)
+			return rows, nil
+		}},
+		{"ext-merge", func(w io.Writer) (any, map[string]string) {
+			rows := experiments.MergeDomains(experiments.MergeDomainsOptions{
+				Duration: scale(15*time.Minute, 6*time.Minute),
+				Seed:     seed,
+			})
+			experiments.PrintMergeDomains(w, rows)
 			return rows, nil
 		}},
 		{"ext-resilience", func(w io.Writer) (any, map[string]string) {

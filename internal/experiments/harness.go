@@ -14,6 +14,7 @@ import (
 	"github.com/faasmem/faasmem/internal/core"
 	"github.com/faasmem/faasmem/internal/faas"
 	"github.com/faasmem/faasmem/internal/fastswap"
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/metrics"
 	"github.com/faasmem/faasmem/internal/policy"
 	"github.com/faasmem/faasmem/internal/rmem"
@@ -117,6 +118,10 @@ type Outcome struct {
 	// node's fault-recovery counters (retries, timeouts, fallbacks,
 	// re-inits, completion classes).
 	Recovery *faas.RecoveryStats
+	// MemNode is non-nil when the scenario's pool was backed by a simulated
+	// memory node (Pool.Node set): the node's storage, merge-domain, and
+	// shared-cache statistics.
+	MemNode *memnode.Stats `json:"MemNode,omitempty"`
 }
 
 // PolicyKinds lists every comparable policy in presentation order.
@@ -234,6 +239,10 @@ func RunScenario(sc Scenario) Outcome {
 	if p.Pool().FaultsPlanned() {
 		rec := p.Recovery()
 		out.Recovery = &rec
+	}
+	if mn := p.Pool().Node(); mn != nil {
+		st := mn.Stats()
+		out.MemNode = &st
 	}
 	return out
 }

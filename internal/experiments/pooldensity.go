@@ -16,6 +16,31 @@ import (
 	"github.com/faasmem/faasmem/internal/workload"
 )
 
+// mixedFn is one function of the mixed density workload: a benchmark profile
+// plus its generated invocation schedule.
+type mixedFn struct {
+	prof *workload.Profile
+	inv  []simtime.Time
+}
+
+// mixedWorkload generates the mixed 11-benchmark invocation schedule the
+// density-family sweeps (ext-pool-density, ext-merge) share: one function per
+// benchmark, bursty arrivals so busy functions scale out to several
+// concurrent containers. Sharing the generator is what lets the merge sweep's
+// function-scope cell reproduce the density sweep's dedup rows exactly.
+func mixedWorkload(d time.Duration, seed int64) []mixedFn {
+	var fns []mixedFn
+	for i, prof := range workload.Profiles() {
+		fn := trace.GenerateFunction(prof.Name, d,
+			time.Duration(3+i)*time.Second, true, seed+int64(i))
+		if len(fn.Invocations) == 0 {
+			continue
+		}
+		fns = append(fns, mixedFn{prof: prof, inv: fn.Invocations})
+	}
+	return fns
+}
+
 // PoolDensityMode names one memory-node configuration under study.
 type PoolDensityMode string
 
@@ -98,19 +123,7 @@ func PoolDensity(opt PoolDensityOptions) []PoolDensityRow {
 
 	// Every cell runs the identical mixed workload; generate the invocation
 	// traces once and share the (read-only) schedules across cells.
-	type cellFn struct {
-		prof *workload.Profile
-		inv  []simtime.Time
-	}
-	var fns []cellFn
-	for i, prof := range workload.Profiles() {
-		fn := trace.GenerateFunction(prof.Name, opt.Duration,
-			time.Duration(3+i)*time.Second, true, opt.Seed+int64(i))
-		if len(fn.Invocations) == 0 {
-			continue
-		}
-		fns = append(fns, cellFn{prof: prof, inv: fn.Invocations})
-	}
+	fns := mixedWorkload(opt.Duration, opt.Seed)
 
 	run := func(dramMB int, mode PoolDensityMode) PoolDensityRow {
 		nodeCfg := memnode.Config{

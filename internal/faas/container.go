@@ -2,6 +2,7 @@ package faas
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand"
 	"time"
@@ -76,6 +77,8 @@ type Container struct {
 	// allocation-free.
 	offCand  []pagemem.PageID
 	offMoved []pagemem.PageID
+	// wbCand is scratch for write-break recall page selection.
+	wbCand []pagemem.PageID
 }
 
 // launch creates a container; memory arrives as lifecycle stages complete.
@@ -245,6 +248,14 @@ func (c *Container) execute(arrival simtime.Time) {
 		}
 	}
 
+	if wb := c.priceRuntimeWrites(now); wb.Total > 0 {
+		// A CoW unmerge is a remote-memory stall (master fetch plus private
+		// writeback): fold it into the fault stall so latency, spans, PSI,
+		// and attribution account it the same way.
+		faultLat += wb.Total
+		stall.Queueing += wb.Queueing
+	}
+
 	c.curFaults = faults
 	c.curRA = readahead
 	c.curStall = faultLat
@@ -260,6 +271,58 @@ func (c *Container) execute(arrival simtime.Time) {
 	e.After(latency, func(e *simtime.Engine) {
 		c.finishRequest(arrival)
 	})
+}
+
+// priceRuntimeWrites models the request's write-hot runtime accesses: the
+// profile's RuntimeWriteRatio fraction of the still-offloaded runtime
+// segment is dirtied, breaking any pool-side merge-domain sharing
+// copy-on-write (rmem.WriteBreakOwner). Privatized pages stay remote under
+// a private copy; pages the node could not re-home are recalled into local
+// memory like faulted pages. While the remote path is down the write is
+// treated as locally buffered and costs nothing — a later request breaks
+// the share. Zero ratio (the default) makes this a no-op.
+func (c *Container) priceRuntimeWrites(now simtime.Time) rmem.FaultStall {
+	ratio := c.fn.profile.RuntimeWriteRatio
+	if ratio <= 0 {
+		return rmem.FaultStall{}
+	}
+	held := c.p.pool.OwnerClassPages(c.owner, c.fn.id, memnode.ClassRuntime)
+	if held <= 0 {
+		return rmem.FaultStall{}
+	}
+	dirty := int(math.Ceil(ratio * float64(held)))
+	if dirty > held {
+		dirty = held
+	}
+	pageBytes := int64(c.space.PageSize())
+	out, err := c.p.pool.WriteBreakOwner(now, c.owner, c.fn.id, memnode.ClassRuntime, dirty, pageBytes)
+	if err != nil || out.Pages+out.Recalled == 0 {
+		return rmem.FaultStall{}
+	}
+	if out.Recalled > 0 {
+		// The node had no room for the private copy: those pages come home.
+		// Flip that many remote runtime pages local (they were just
+		// written, so they land hot) and release their swap slots.
+		c.wbCand = c.space.CollectInState(c.wbCand[:0], c.runtimeRange, pagemem.Remote, out.Recalled)
+		for _, id := range c.wbCand {
+			c.space.SetState(id, pagemem.Hot)
+		}
+		c.cg.Recall(now, int64(out.Recalled)*pageBytes)
+		c.p.syncMemGauges()
+		c.p.enforceMemoryLimit(now)
+		c.p.swap.Release(out.Recalled)
+	}
+	c.fn.stats.WriteBreakPages += int64(out.Pages)
+	c.fn.stats.WriteBreakRecallPages += int64(out.Recalled)
+	c.p.met.writeBreaks.Add(int64(out.Pages))
+	if out.Stall.Total > 0 {
+		c.p.tel.Tracer.Record(telemetry.Event{
+			At: now, Dur: out.Stall.Total, Kind: telemetry.KindPageFault,
+			Actor: c.id, Fn: c.fn.id, Stage: telemetry.StageRuntime,
+			Value: int64(out.Pages), Aux: int64(out.Recalled),
+		})
+	}
+	return out.Stall
 }
 
 // priceStateHooks runs the request's workflow state-passing hooks at

@@ -188,6 +188,12 @@ type FunctionStats struct {
 	RuntimeFaultPages int64
 	// InitFaultPages counts faults on init-segment pages.
 	InitFaultPages int64
+	// WriteBreakPages counts runtime pages privatized by pool-side
+	// copy-on-write unmerge breaks (write-hot workloads against merge
+	// domains); WriteBreakRecallPages counts break pages the node could not
+	// re-home privately, recalled back to local memory instead.
+	WriteBreakPages       int64
+	WriteBreakRecallPages int64
 	// FetchRetries counts page-fetch attempts retried with backoff against
 	// an unhealthy pool (fault injection only).
 	FetchRetries int64

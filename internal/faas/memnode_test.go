@@ -72,24 +72,56 @@ func TestMemNodeLedgerInvariants(t *testing.T) {
 
 // TestMemNodeLedgerInvariantsRandomized is the stress sibling of
 // TestMemNodeLedgerInvariants: random invocation interleavings over several
-// seeds, tight tier sizes, tenant quota boundaries, and injected fault plans
-// (outages, tier storms, retry/timeout/re-init recovery all interleave with
-// offloads, faults, discards and evictions). Every virtual second the node's
-// internal invariants must hold and the pool ledger must equal the node's
-// logical bytes; after the drain the node must be empty.
+// seeds, tight tier sizes, tenant quota boundaries, widened merge scopes with
+// copy-on-write write-hot functions, the shared cache tier, and injected
+// fault plans (outages, tier storms, retry/timeout/re-init recovery all
+// interleave with offloads, faults, unmerge breaks, discards and evictions).
+// Every virtual second the node's internal invariants — including merge
+// isolation and cache fairness — must hold and the pool ledger must equal the
+// node's logical bytes; after the drain the node must be empty.
 func TestMemNodeLedgerInvariantsRandomized(t *testing.T) {
 	var offloaded, faulted, quotaRejects, recovered int64
+	var merged, breaks, cacheTraffic int64
 	for seed := int64(1); seed <= 5; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		nodeCfg := memnode.Config{
-			DRAMBytes:          1 * workload.MB,
-			SpillBytes:         int64(2+rng.Intn(7)) * workload.MB,
-			DisableDedup:       rng.Intn(3) == 0,
+			DRAMBytes:  1 * workload.MB,
+			SpillBytes: int64(2+rng.Intn(7)) * workload.MB,
+			// Seed 4 runs the no-dedup baseline; the rest keep shared masters
+			// so merge, unmerge, and cache paths are guaranteed coverage.
+			DisableDedup:       seed == 4,
 			DisableCompression: rng.Intn(3) == 0,
 		}
 		if rng.Intn(2) == 0 {
 			// Quota boundary: one tenant's footprint crosses the cap.
 			nodeCfg.TenantQuotaBytes = int64(1+rng.Intn(2)) * workload.MB / 2
+		}
+		// Merge-domain coverage rotates deterministically with the seed:
+		// per-function, tenant-wide, and cross-tenant scopes, with shared and
+		// split tenancy, partial opt-in, and the cache tier on some seeds.
+		nodeCfg.MergeScope = []memnode.MergeScope{
+			memnode.MergeCrossTenant, memnode.MergeTenant, memnode.MergeCrossTenant,
+			memnode.MergeFunction, memnode.MergeTenant,
+		}[seed%5]
+		tenantBySecondLetter := func(fn string) string { return "t" + fn[1:] }
+		if seed%2 == 1 {
+			nodeCfg.TenantOf = func(string) string { return "t0" }
+		} else {
+			nodeCfg.TenantOf = tenantBySecondLetter // fa → ta, fb → tb
+		}
+		switch seed {
+		case 1: // shared tenant, opted in: rack-wide master
+			nodeCfg.MergeOptIn = []string{"t0"}
+		case 2: // split tenants, both opted in: merging crosses the edge
+			nodeCfg.MergeOptIn = []string{"ta", "tb"}
+		}
+		writeRatio := 0.0
+		if seed != 3 {
+			writeRatio = 0.1 + 0.4*rng.Float64()
+		}
+		if seed >= 3 {
+			nodeCfg.CacheBytes = workload.MB / 2
+			nodeCfg.CacheShares = map[string]float64{"ta": 1 + rng.Float64()*3}
 		}
 		var plan *faultinject.Plan
 		if seed != 1 {
@@ -118,6 +150,7 @@ func TestMemNodeLedgerInvariantsRandomized(t *testing.T) {
 		for _, name := range []string{"fa", "fb"} {
 			prof := *tinyProfile()
 			prof.Name = name
+			prof.RuntimeWriteRatio = writeRatio
 			p.Register(name, &prof)
 			var times []simtime.Time
 			for i, n := 0, 8+rng.Intn(12); i < n; i++ {
@@ -158,6 +191,9 @@ func TestMemNodeLedgerInvariantsRandomized(t *testing.T) {
 		faulted += agg.FaultPages
 		quotaRejects += st.QuotaRejectPages
 		recovered += rec.FetchRetries + int64(rec.ColdReinits)
+		merged += st.MergedPages
+		breaks += st.UnmergeBreaks
+		cacheTraffic += st.CacheHitPages + st.CacheMissPages
 	}
 	// The seeds must collectively exercise the paths under test; these are
 	// deterministic, so failures here mean the generator went quiet, not
@@ -173,5 +209,14 @@ func TestMemNodeLedgerInvariantsRandomized(t *testing.T) {
 	}
 	if recovered == 0 {
 		t.Error("no seed ever exercised the fetch-retry/re-init machinery")
+	}
+	if merged == 0 {
+		t.Error("no seed ever merged pages onto a widened-domain master")
+	}
+	if breaks == 0 {
+		t.Error("no seed ever broke a merge master with a copy-on-write unmerge")
+	}
+	if cacheTraffic == 0 {
+		t.Error("no seed ever touched the shared cache tier")
 	}
 }

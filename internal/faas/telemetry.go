@@ -19,6 +19,7 @@ type platformMetrics struct {
 	evictions      *telemetry.Metric
 	faultPages     *telemetry.Metric
 	readaheadPages *telemetry.Metric
+	writeBreaks    *telemetry.Metric
 	coldReinits    *telemetry.Metric
 	fallbackPages  *telemetry.Metric
 	// offloadedPages is indexed by telemetry.Stage (which mirrors
@@ -45,6 +46,7 @@ func newPlatformMetrics(reg *telemetry.Registry) platformMetrics {
 		evictions:      reg.Counter("faasmem_containers_evicted_total", "idle containers evicted by the node memory limit"),
 		faultPages:     reg.Counter("faasmem_fault_pages_total", "remote pages demand-faulted on request critical paths"),
 		readaheadPages: reg.Counter("faasmem_readahead_pages_total", "remote pages recalled by swap readahead"),
+		writeBreaks:    reg.Counter("faasmem_write_break_pages_total", "runtime pages privatized by copy-on-write unmerge breaks"),
 		coldReinits:    reg.Counter("faasmem_cold_reinits_total", "containers discarded and relaunched after a fetch timeout"),
 		fallbackPages:  reg.Counter("faasmem_fallback_pages_total", "remote pages served from the local swap copy during outages"),
 		offloadedPages: [memnode.NumClasses]*telemetry.Metric{

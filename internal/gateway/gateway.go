@@ -36,6 +36,7 @@ import (
 
 	"github.com/faasmem/faasmem/internal/experiments"
 	"github.com/faasmem/faasmem/internal/faultinject"
+	"github.com/faasmem/faasmem/internal/memnode"
 	"github.com/faasmem/faasmem/internal/telemetry"
 	"github.com/faasmem/faasmem/internal/telemetry/exemplar"
 	"github.com/faasmem/faasmem/internal/telemetry/span"
@@ -81,6 +82,16 @@ type RunRequest struct {
 	// FanoutWidth scales the workflow's replicated stages; 0 keeps the
 	// shape's declared width. Max 64.
 	FanoutWidth int `json:"fanout_width"`
+	// MergeScope widens the pool-side page-merge domain: function, tenant,
+	// or cross-tenant. Setting it (or CacheMB) backs the run's pool with a
+	// simulated memory node and the outcome reports the node's stats.
+	MergeScope string `json:"merge_scope"`
+	// MergeOptIn lists tenants consenting to cross-tenant merging.
+	MergeOptIn []string `json:"merge_opt_in"`
+	// CacheMB sizes the node's shared multi-tenant cache tier. Max 16384.
+	CacheMB int `json:"cache_mb"`
+
+	mergeScope memnode.MergeScope
 }
 
 func (r *RunRequest) normalize() error {
@@ -137,6 +148,13 @@ func (r *RunRequest) normalize() error {
 	}
 	if r.FanoutWidth < 0 || r.FanoutWidth > 64 {
 		return fmt.Errorf("fanout_width %d out of range [0, 64]", r.FanoutWidth)
+	}
+	var err error
+	if r.mergeScope, err = memnode.ParseMergeScope(r.MergeScope); err != nil {
+		return err
+	}
+	if r.CacheMB < 0 || r.CacheMB > 16384 {
+		return fmt.Errorf("cache_mb %d out of range [0, 16384]", r.CacheMB)
 	}
 	return nil
 }
@@ -256,6 +274,13 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Timeline:    s.timeline,
 		Exemplars:   s.exemplars,
 	}
+	if req.MergeScope != "" || req.CacheMB > 0 {
+		sc.Pool.Node = &memnode.Config{
+			MergeScope: req.mergeScope,
+			MergeOptIn: req.MergeOptIn,
+			CacheBytes: int64(req.CacheMB) << 20,
+		}
+	}
 	if req.FaultIntensity > 0 {
 		sc.Pool.Faults = faultinject.New(faultinject.Config{
 			Horizon:   duration + keepAlive,
@@ -278,7 +303,8 @@ var experimentNames = []string{
 	"fig12", "table1", "fig13", "fig14", "fig15", "fig16",
 	"ext-pools", "ext-coldstart", "ext-readahead", "ext-keepalive",
 	"ext-percentile", "ext-rack", "ext-attrib", "ext-pool-density",
-	"ext-resilience", "ext-observe", "ext-drilldown", "ext-stateful",
+	"ext-merge", "ext-resilience", "ext-observe", "ext-drilldown",
+	"ext-stateful",
 }
 
 // handleExperiment regenerates one figure/table at quick scale and returns
@@ -341,6 +367,10 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		rows = experiments.AttribPressure(experiments.AttribPressureOptions{Duration: 10 * time.Minute, Seed: seed})
 	case "ext-pool-density":
 		rows = experiments.PoolDensity(experiments.PoolDensityOptions{Duration: 5 * time.Minute, Seed: seed})
+	case "ext-merge":
+		rows = experiments.MergeDomains(experiments.MergeDomainsOptions{
+			DRAMMB: 192, Duration: 4 * time.Minute, Seed: seed,
+		})
 	case "ext-resilience":
 		rows = experiments.Resilience(experiments.ResilienceOptions{
 			Duration: 5 * time.Minute, KeepAlive: 4 * time.Minute, Seed: seed, FaultSeed: seed,

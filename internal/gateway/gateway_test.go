@@ -262,8 +262,8 @@ func TestExperimentsList(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &names); err != nil {
 		t.Fatal(err)
 	}
-	if len(names) != 25 {
-		t.Fatalf("experiments = %d, want 25", len(names))
+	if len(names) != 26 {
+		t.Fatalf("experiments = %d, want 26", len(names))
 	}
 	// Every advertised name must actually dispatch.
 	for _, n := range names {
@@ -394,6 +394,98 @@ func TestRunWorkflowDeterministicAcrossCalls(t *testing.T) {
 	b := do(t, http.MethodPost, "/run", body).Body.String()
 	if a != b {
 		t.Fatal("identical workflow requests returned different outcomes")
+	}
+}
+
+// TestRunMergeKnobs checks the merge-domain knobs on POST /run: setting
+// merge_scope backs the pool with a memory node whose stats land in the
+// outcome, and the default request keeps the node (and its JSON) out entirely.
+func TestRunMergeKnobs(t *testing.T) {
+	rec := do(t, http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":240,"mean_gap_sec":5,"bursty":true,"seed":3,"merge_scope":"tenant","cache_mb":64}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome.MemNode == nil {
+		t.Fatal("merge_scope run returned no memory-node stats")
+	}
+	if resp.Outcome.MemNode.DedupHitPages == 0 {
+		t.Fatalf("bursty scale-out produced no dedup fan-in: %+v", resp.Outcome.MemNode)
+	}
+
+	// Without the knobs, no node is attached and the response omits the block.
+	plain := do(t, http.MethodPost, "/run",
+		`{"bench":"json","policy":"faasmem","duration_sec":120,"seed":3}`)
+	if plain.Code != http.StatusOK {
+		t.Fatalf("plain status = %d: %s", plain.Code, plain.Body.String())
+	}
+	if strings.Contains(plain.Body.String(), "MemNode") {
+		t.Fatal("plain run unexpectedly reported memory-node stats")
+	}
+}
+
+// TestRunMergeValidation pins the 400s on the merge knobs: an unknown scope
+// lists the valid options, and cache_mb is range-checked rather than clamped.
+func TestRunMergeValidation(t *testing.T) {
+	cases := []struct {
+		body string
+		want string // substring of the error message
+	}{
+		{`{"bench":"json","merge_scope":"global"}`, "(options: function, tenant, cross-tenant)"},
+		{`{"bench":"json","cache_mb":-1}`, "out of range [0, 16384]"},
+		{`{"bench":"json","cache_mb":16385}`, "out of range [0, 16384]"},
+	}
+	for i, tc := range cases {
+		rec := do(t, http.MethodPost, "/run", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400: %s", i, rec.Code, rec.Body.String())
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("case %d: body %q missing %q", i, rec.Body.String(), tc.want)
+		}
+	}
+}
+
+// TestExperimentMerge smoke-runs the ext-merge endpoint and checks the
+// isolation verdict in every row.
+func TestExperimentMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node sweep too slow for -short")
+	}
+	rec := do(t, http.MethodPost, "/experiments/ext-merge?seed=2", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var resp struct {
+		Experiment string           `json:"experiment"`
+		Rows       []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Experiment != "ext-merge" || len(resp.Rows) == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	for _, row := range resp.Rows {
+		for _, key := range []string{"scope", "write_ratio", "amplification", "merged_pages", "isolation_ok"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("row missing %q: %v", key, row)
+			}
+		}
+		if ok, _ := row["isolation_ok"].(bool); !ok {
+			t.Fatalf("isolation violated in row %v", row)
+		}
 	}
 }
 

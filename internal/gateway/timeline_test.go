@@ -155,6 +155,7 @@ func TestContentTypesAndMethodNotAllowed(t *testing.T) {
 		{http.MethodGet, "/run"},
 		{http.MethodGet, "/replay"},
 		{http.MethodGet, "/experiments/ext-stateful"},
+		{http.MethodGet, "/experiments/ext-merge"},
 		{http.MethodDelete, "/healthz"},
 	}
 	for _, tc := range wrongMethod {

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/faasmem/faasmem/internal/telemetry"
@@ -125,6 +126,31 @@ type Config struct {
 	// TenantOf maps a function ID to its tenant for quota accounting.
 	// Default: every function is its own tenant.
 	TenantOf func(fn string) string `json:"-"`
+	// MergeScope widens runtime-page merge domains beyond a single function:
+	// MergeTenant collapses content-identical runtime pages across one
+	// tenant's functions, MergeCrossTenant across every tenant that opted in
+	// via MergeOptIn. Init pages always merge per-function — they carry
+	// function-specific initialization state. Default (and ""):
+	// MergeFunction, the per-function dedup of the density studies. Unknown
+	// values behave as MergeFunction.
+	MergeScope MergeScope `json:"merge_scope,omitempty"`
+	// MergeOptIn lists tenants that consented to cross-tenant merging. Only
+	// meaningful at MergeCrossTenant scope; a tenant absent from the list
+	// keeps a tenant-wide domain, so its pages never share a master with
+	// another tenant's. This is the hard security boundary: merging crosses a
+	// tenant edge only between two opted-in tenants.
+	MergeOptIn []string `json:"merge_opt_in,omitempty"`
+	// CacheBytes sizes the shared multi-tenant cache tier for hot copies of
+	// merge masters: a recall or read of a cached master skips the
+	// compressed/spill tier surcharge. Zero (default) disables the cache.
+	// The cache is a dedicated DRAM partition, accounted separately from
+	// DRAMBytes.
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
+	// CacheShares weights each tenant's share of the cache tier: a tenant's
+	// share is CacheBytes·w/Σw over the tenants currently occupying the
+	// cache, and fairness eviction keeps every occupant within its share.
+	// Missing or non-positive weights default to 1.
+	CacheShares map[string]float64 `json:"cache_shares,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -146,13 +172,20 @@ func (c Config) withDefaults() Config {
 	if c.SpillLatency <= 0 {
 		c.SpillLatency = 80 * time.Microsecond
 	}
+	switch c.MergeScope {
+	case MergeTenant, MergeCrossTenant:
+	default:
+		c.MergeScope = MergeFunction
+	}
 	return c
 }
 
 // entryKey identifies a page-store entry: shared entries (dedupable classes)
-// key on the function, private entries on the owning container.
+// key on their merge domain — the function itself at MergeFunction scope, a
+// tenant- or rack-wide domain at wider scopes — and private entries on the
+// owning container.
 type entryKey struct {
-	fn    string
+	dom   string
 	owner string // "" for shared entries
 	class Class
 }
@@ -188,7 +221,12 @@ func (e *entry) residentTarget() int {
 }
 
 // ownerRefs indexes one container's holdings for O(its entries) discard.
+// An owner describes pages of exactly one function (containers run one
+// function; region owners are synthetic and keyed per region), recorded here
+// so discards and isolation checks can recover the tenant even when the
+// entry key is a widened merge domain.
 type ownerRefs struct {
+	fn    string
 	keys  []entryKey // insertion order, for deterministic iteration
 	seen  map[entryKey]bool
 	pages int64 // logical pages this owner holds
@@ -225,6 +263,21 @@ type Stats struct {
 	QuotaRejectPages int64 `json:"quota_reject_pages"`
 	FullRejectPages  int64 `json:"full_reject_pages"`
 
+	// Merge-domain activity: pages admitted onto a master wider than their
+	// own function (a subset of DedupHitPages), and CoW unmerges — break
+	// events, pages privatized, and pages recalled to the writer because the
+	// private copy did not fit.
+	MergedPages        int64 `json:"merged_pages,omitempty"`
+	UnmergeBreaks      int64 `json:"unmerge_breaks,omitempty"`
+	UnmergedPages      int64 `json:"unmerged_pages,omitempty"`
+	UnmergeRecallPages int64 `json:"unmerge_recall_pages,omitempty"`
+
+	// Shared cache tier activity (zero when CacheBytes is 0).
+	CacheHitPages  int64 `json:"cache_hit_pages,omitempty"`
+	CacheMissPages int64 `json:"cache_miss_pages,omitempty"`
+	CacheEvictions int64 `json:"cache_evictions,omitempty"`
+	CacheUsedBytes int64 `json:"cache_used_bytes,omitempty"`
+
 	// Pool-side CPU time spent (de)compressing — off the request critical
 	// path for compression, on it for decompression.
 	CompressTime   time.Duration `json:"compress_time"`
@@ -260,6 +313,22 @@ type Node struct {
 	compressTime     time.Duration
 	decompressTime   time.Duration
 
+	// Merge-domain state: opted-in tenants (cross-tenant scope), a fn →
+	// domain memo keeping the widened key computation allocation-free, and
+	// the merge/unmerge counters.
+	optIn         map[string]bool
+	domCache      map[string]string
+	mergedPages   int64
+	unmergeBreaks int64
+	unmergedPages int64
+	unmergeRecall int64
+
+	// Shared cache tier (nil when CacheBytes is 0).
+	cache          *sharedCache
+	cacheHitPages  int64
+	cacheMissPages int64
+	cacheEvictions int64
+
 	// forceFull makes the node report zero admissible headroom and reject
 	// offload batches outright — the tier-full storm injected by a fault
 	// plan. Recalls and discards still work.
@@ -283,16 +352,32 @@ type nodeMetrics struct {
 	evictions    *telemetry.Metric
 	quotaRejects *telemetry.Metric
 	fullRejects  *telemetry.Metric
+	merged       *telemetry.Metric
+	unmerged     *telemetry.Metric
+	cacheHits    *telemetry.Metric
+	cacheMisses  *telemetry.Metric
+	cacheUsed    *telemetry.Metric
 }
 
 // New creates a node from cfg, applying defaults for zero fields.
 func New(cfg Config) *Node {
-	return &Node{
+	n := &Node{
 		cfg:     cfg.withDefaults(),
 		entries: make(map[entryKey]*entry),
 		owners:  make(map[string]*ownerRefs),
 		tenants: make(map[string]int64),
 	}
+	if n.cfg.MergeScope != MergeFunction {
+		n.domCache = make(map[string]string)
+		n.optIn = make(map[string]bool, len(n.cfg.MergeOptIn))
+		for _, t := range n.cfg.MergeOptIn {
+			n.optIn[t] = true
+		}
+	}
+	if n.cfg.CacheBytes > 0 {
+		n.cache = newSharedCache(n.cfg.CacheBytes)
+	}
+	return n
 }
 
 // Config returns the effective configuration.
@@ -317,6 +402,11 @@ func (n *Node) Instrument(reg *telemetry.Registry) {
 		evictions:    reg.Counter("faasmem_memnode_evictions_total", "LRU-by-class eviction (demotion) events"),
 		quotaRejects: reg.Counter("faasmem_memnode_quota_reject_pages_total", "offloaded pages rejected by tenant quota"),
 		fullRejects:  reg.Counter("faasmem_memnode_full_reject_pages_total", "offloaded pages rejected because DRAM and spill were full"),
+		merged:       reg.Counter("faasmem_memnode_merged_pages_total", "pages admitted onto a merge master wider than their function"),
+		unmerged:     reg.Counter("faasmem_memnode_unmerged_pages_total", "pages privatized by copy-on-write unmerge breaks"),
+		cacheHits:    reg.Counter("faasmem_memnode_cache_hit_pages_total", "recalled pages served from the shared cache tier"),
+		cacheMisses:  reg.Counter("faasmem_memnode_cache_miss_pages_total", "recalled shared pages that missed the cache tier"),
+		cacheUsed:    reg.Gauge("faasmem_memnode_cache_used_bytes", "shared cache tier occupancy"),
 	}
 	n.syncGauges()
 }
@@ -370,6 +460,23 @@ func (n *Node) CompressedPages() int64 { return n.compressedPages }
 // tier; monotone like CompressedPages.
 func (n *Node) SpilledPages() int64 { return n.spilledPages }
 
+// MergedPages is the cumulative count of pages admitted onto a merge master
+// wider than their own function; monotone like CompressedPages, so callers
+// can delta it around a node call to record merge flows.
+func (n *Node) MergedPages() int64 { return n.mergedPages }
+
+// UnmergedPages is the cumulative count of pages privatized by CoW unmerge
+// breaks; monotone like MergedPages.
+func (n *Node) UnmergedPages() int64 { return n.unmergedPages }
+
+// CacheUsedBytes is the shared cache tier's occupancy (0 when disabled).
+func (n *Node) CacheUsedBytes() int64 {
+	if n.cache == nil {
+		return 0
+	}
+	return n.cache.usedBytes
+}
+
 // AcceptableBytes is the effective headroom an offloader may assume: free
 // DRAM, plus what compressing the current hot tier would reclaim, plus free
 // spill. With an unbounded spill tier the node never rejects for capacity.
@@ -402,9 +509,9 @@ func (n *Node) ForceFull() bool { return n.forceFull }
 // key returns the store key a described batch lands under.
 func (n *Node) key(owner, fn string, class Class) entryKey {
 	if class.Shared() && !n.cfg.DisableDedup {
-		return entryKey{fn: fn, class: class}
+		return entryKey{dom: n.domainOf(fn, class), class: class}
 	}
-	return entryKey{fn: fn, owner: owner, class: class}
+	return entryKey{dom: fn, owner: owner, class: class}
 }
 
 // Offload admits a described batch of pages and returns how many were
@@ -465,8 +572,15 @@ func (n *Node) Offload(owner, fn string, class Class, pages int) int {
 		if growth < 0 {
 			growth = 0
 		}
-		n.dedupHitPages += int64(accepted - growth)
-		n.met.dedupHits.Add(int64(accepted - growth))
+		hits := int64(accepted - growth)
+		n.dedupHitPages += hits
+		n.met.dedupHits.Add(hits)
+		if hits > 0 && key.dom != fn {
+			// The master is a widened merge domain: these pages merged
+			// across owners beyond this function's own dedup.
+			n.mergedPages += hits
+			n.met.merged.Add(hits)
+		}
 	}
 
 	// Fit the growth: evict for hot-tier room first; what still does not fit
@@ -524,8 +638,11 @@ func (n *Node) Offload(owner, fn string, class Class, pages int) int {
 	}
 	n.logicalPages += int64(accepted)
 	n.tenants[n.tenantOf(fn)] += int64(accepted) * ps
-	n.registerOwner(owner, key, int64(accepted))
+	n.registerOwner(owner, fn, key, int64(accepted))
 	n.lruTouch(e)
+	if e.shared {
+		n.cacheResync(e)
+	}
 
 	if lb := n.LogicalBytes(); lb > n.peakLogicalBytes {
 		n.peakLogicalBytes = lb
@@ -562,14 +679,7 @@ func (n *Node) Recall(owner, fn string, class Class, pages int) RecallCost {
 		return RecallCost{}
 	}
 
-	var lat time.Duration
-	if rt := e.residentTarget(); rt > 0 {
-		comp := float64(e.comp) / float64(rt) * float64(pages)
-		spill := float64(e.spill) / float64(rt) * float64(pages)
-		dec := time.Duration(comp * float64(n.cfg.DecompressLatency))
-		lat = dec + time.Duration(spill*float64(n.cfg.SpillLatency))
-		n.decompressTime += dec
-	}
+	lat := n.tierSurcharge(e, pages, n.tenantOf(fn))
 
 	n.release(e, owner, pages)
 	n.logicalPages -= int64(pages)
@@ -607,6 +717,22 @@ func (n *Node) ReadCost(owner, fn string, class Class, pages int) RecallCost {
 	if pages == 0 {
 		return RecallCost{}
 	}
+	lat := n.tierSurcharge(e, pages, n.tenantOf(fn))
+	n.lruTouch(e)
+	return RecallCost{Pages: pages, Latency: lat}
+}
+
+// tierSurcharge prices reading pages of e's resident copy — the fraction
+// living compressed pays DecompressLatency per page, the spilled fraction
+// SpillLatency — consulting the shared cache tier first: a cached master
+// serves hot copies with no surcharge, a cacheable miss pays the surcharge
+// and admits the master (charged to the reading tenant).
+func (n *Node) tierSurcharge(e *entry, pages int, tenant string) time.Duration {
+	if n.cacheHas(e) {
+		n.cacheHitPages += int64(pages)
+		n.met.cacheHits.Add(int64(pages))
+		return 0
+	}
 	var lat time.Duration
 	if rt := e.residentTarget(); rt > 0 {
 		comp := float64(e.comp) / float64(rt) * float64(pages)
@@ -615,8 +741,12 @@ func (n *Node) ReadCost(owner, fn string, class Class, pages int) RecallCost {
 		lat = dec + time.Duration(spill*float64(n.cfg.SpillLatency))
 		n.decompressTime += dec
 	}
-	n.lruTouch(e)
-	return RecallCost{Pages: pages, Latency: lat}
+	if n.cache != nil && e.shared {
+		n.cacheMissPages += int64(pages)
+		n.met.cacheMisses.Add(int64(pages))
+		n.cacheInsert(e, tenant)
+	}
+	return lat
 }
 
 // OwnerPages reports one owner's logical page holdings of a single class —
@@ -657,8 +787,8 @@ func (n *Node) DiscardOwner(owner string) int64 {
 		}
 		n.release(e, owner, cur)
 		freed += int64(cur)
-		n.tenants[n.tenantOf(key.fn)] -= int64(cur) * ps
 	}
+	n.tenants[n.tenantOf(or.fn)] -= freed * ps
 	n.logicalPages -= freed
 	delete(n.owners, owner)
 	n.syncGauges()
@@ -694,6 +824,7 @@ func (n *Node) release(e *entry, owner string, pages int) {
 			shrink := e.maxPages - newMax
 			e.maxPages, e.atMax = newMax, cnt
 			n.shrinkEntry(e, shrink)
+			n.cacheResync(e)
 		}
 		if len(e.refs) == 0 {
 			n.freeEntry(e)
@@ -740,6 +871,7 @@ func (n *Node) shrinkEntry(e *entry, k int) {
 
 // freeEntry removes an empty entry from the store.
 func (n *Node) freeEntry(e *entry) {
+	n.cacheDrop(e.key)
 	n.shrinkEntry(e, e.residentTarget())
 	if e.shared {
 		e.maxPages, e.atMax = 0, 0
@@ -860,11 +992,15 @@ func (n *Node) noteSpill(pages int) {
 }
 
 // registerOwner indexes the owner's association with key for DiscardOwner.
-func (n *Node) registerOwner(owner string, key entryKey, pages int64) {
+// Every registration of one owner must describe the same function (a
+// container runs exactly one function); the first registration records it.
+func (n *Node) registerOwner(owner, fn string, key entryKey, pages int64) {
 	or := n.owners[owner]
 	if or == nil {
-		or = &ownerRefs{seen: make(map[entryKey]bool)}
+		or = &ownerRefs{fn: fn, seen: make(map[entryKey]bool)}
 		n.owners[owner] = or
+	} else if or.fn != fn {
+		panic(fmt.Sprintf("memnode: owner %s registered for %s and %s", owner, or.fn, fn))
 	}
 	if !or.seen[key] {
 		or.seen[key] = true
@@ -925,6 +1061,14 @@ func (n *Node) Stats() Stats {
 		Evictions:          n.evictions,
 		QuotaRejectPages:   n.quotaRejectPages,
 		FullRejectPages:    n.fullRejectPages,
+		MergedPages:        n.mergedPages,
+		UnmergeBreaks:      n.unmergeBreaks,
+		UnmergedPages:      n.unmergedPages,
+		UnmergeRecallPages: n.unmergeRecall,
+		CacheHitPages:      n.cacheHitPages,
+		CacheMissPages:     n.cacheMissPages,
+		CacheEvictions:     n.cacheEvictions,
+		CacheUsedBytes:     n.CacheUsedBytes(),
 		CompressTime:       n.compressTime,
 		DecompressTime:     n.decompressTime,
 	}
@@ -937,6 +1081,9 @@ func (n *Node) syncGauges() {
 	n.met.spillUsed.Set(n.SpillUsedBytes())
 	n.met.dedupSaved.Set(n.DedupSavedBytes())
 	n.met.compSaved.Set(n.CompressSavedBytes())
+	if n.cache != nil {
+		n.met.cacheUsed.Set(n.cache.usedBytes)
+	}
 }
 
 // --- per-class LRU lists ---
@@ -1045,6 +1192,96 @@ func (n *Node) CheckInvariants() error {
 	}
 	if n.cfg.SpillBytes > 0 && n.SpillUsedBytes() > n.cfg.SpillBytes {
 		return fmt.Errorf("spill used %d exceeds capacity %d", n.SpillUsedBytes(), n.cfg.SpillBytes)
+	}
+	if err := n.checkIsolation(); err != nil {
+		return err
+	}
+	return n.checkCache()
+}
+
+// checkIsolation verifies the merge security boundary on every shared master:
+// a function-scoped master is referenced only by owners of that function, a
+// tenant-scoped master only by owners of that tenant, and a cross-tenant
+// master only by owners whose tenants all opted in. A violation means a page
+// became reachable across a tenant edge without both sides' consent.
+func (n *Node) checkIsolation() error {
+	for key, e := range n.entries {
+		if !e.shared {
+			continue
+		}
+		for owner := range e.refs {
+			or := n.owners[owner]
+			if or == nil {
+				return fmt.Errorf("shared entry %v references unregistered owner %s", key, owner)
+			}
+			switch {
+			case key.dom == globalDom:
+				if t := n.tenantOf(or.fn); !n.optIn[t] {
+					return fmt.Errorf("cross-tenant master %v reachable from tenant %s, which never opted in", key, t)
+				}
+			case strings.HasPrefix(key.dom, tenantDomPrefix):
+				if t := n.tenantOf(or.fn); tenantDomPrefix+t != key.dom {
+					return fmt.Errorf("tenant master %v reachable from tenant %s", key, t)
+				}
+			default:
+				if or.fn != key.dom {
+					return fmt.Errorf("function master %v reachable from function %s", key, or.fn)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCache verifies the shared cache tier's accounting and its fairness
+// invariant: occupancy sums agree per tenant and in total, every cached key
+// is a live shared master at its current resident size, total occupancy fits
+// CacheBytes, and no occupant exceeds its share of the active set.
+func (n *Node) checkCache() error {
+	c := n.cache
+	if c == nil {
+		return nil
+	}
+	var total int64
+	ps := int64(n.cfg.PageSize)
+	for key, ce := range c.entries {
+		if key != ce.key {
+			return fmt.Errorf("cache entry keyed %v carries key %v", key, ce.key)
+		}
+		e := n.entries[key]
+		if e == nil || !e.shared {
+			return fmt.Errorf("cache entry %v has no live shared master", key)
+		}
+		if ce.pages != e.residentTarget() {
+			return fmt.Errorf("cache entry %v holds %d pages, master resident is %d", key, ce.pages, e.residentTarget())
+		}
+		total += int64(ce.pages) * ps
+	}
+	if total != c.usedBytes {
+		return fmt.Errorf("cache used %d, entries sum to %d", c.usedBytes, total)
+	}
+	if c.usedBytes > c.bytes {
+		return fmt.Errorf("cache used %d exceeds capacity %d", c.usedBytes, c.bytes)
+	}
+	var perTenant int64
+	for _, t := range c.activeTenants() {
+		var occ int64
+		for ce := c.head[t]; ce != nil; ce = ce.next {
+			if ce.tenant != t {
+				return fmt.Errorf("cache entry %v on tenant %s list carries tenant %s", ce.key, t, ce.tenant)
+			}
+			occ += int64(ce.pages) * ps
+		}
+		if occ != c.occ[t] {
+			return fmt.Errorf("cache tenant %s occupancy %d, list sums to %d", t, c.occ[t], occ)
+		}
+		if share := n.cacheShareOf(t); occ > share {
+			return fmt.Errorf("cache tenant %s occupies %d, exceeding its fair share %d", t, occ, share)
+		}
+		perTenant += occ
+	}
+	if perTenant != c.usedBytes {
+		return fmt.Errorf("cache tenant occupancies sum to %d, used is %d", perTenant, c.usedBytes)
 	}
 	return nil
 }

@@ -39,7 +39,7 @@ func (p *Pool) OffloadDescribed(now simtime.Time, owner, fn string, counts Class
 	if err := p.probeHealth(now); err != nil {
 		return ClassCounts{}, now, err
 	}
-	comp0, spill0 := p.tierFlowsBefore()
+	comp0, spill0, merged0 := p.tierFlowsBefore()
 	total := 0
 	for cls := range counts {
 		if counts[cls] == 0 {
@@ -49,7 +49,7 @@ func (p *Pool) OffloadDescribed(now simtime.Time, owner, fn string, counts Class
 		accepted[cls] = acc
 		total += acc
 	}
-	p.recordTierFlows(now, fn, comp0, spill0, pageBytes)
+	p.recordTierFlows(now, fn, comp0, spill0, merged0, pageBytes)
 	if total == 0 {
 		return accepted, now, nil
 	}

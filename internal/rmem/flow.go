@@ -100,22 +100,22 @@ func (p *Pool) recordFlow(now simtime.Time, kind timeseries.FlowKind, bytes int6
 	p.tl.FlowOccupancy(now, p.used)
 }
 
-// tierFlowsBefore snapshots the memory node's cumulative compressed/spilled
-// page counters ahead of a node call that may evict (zeros when flows are
-// off or no node is attached).
-func (p *Pool) tierFlowsBefore() (comp, spill int64) {
+// tierFlowsBefore snapshots the memory node's cumulative compressed/spilled/
+// merged page counters ahead of a node call that may evict or merge (zeros
+// when flows are off or no node is attached).
+func (p *Pool) tierFlowsBefore() (comp, spill, merged int64) {
 	if p.tl == nil || p.node == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return p.node.CompressedPages(), p.node.SpilledPages()
+	return p.node.CompressedPages(), p.node.SpilledPages(), p.node.MergedPages()
 }
 
-// recordTierFlows records the compress/spill movement since tierFlowsBefore
-// as zero-direction flows: bytes changing tier inside the pool without
-// changing occupancy. They are attributed to the tenant whose batch
-// triggered the eviction (the evicted pages themselves may belong to
-// anyone).
-func (p *Pool) recordTierFlows(now simtime.Time, fn string, compBefore, spillBefore, pageBytes int64) {
+// recordTierFlows records the compress/spill/merge movement since
+// tierFlowsBefore as zero-direction flows: bytes changing tier (or collapsing
+// onto a widened merge master) inside the pool without changing occupancy.
+// They are attributed to the tenant whose batch triggered the movement (the
+// evicted pages themselves may belong to anyone).
+func (p *Pool) recordTierFlows(now simtime.Time, fn string, compBefore, spillBefore, mergedBefore, pageBytes int64) {
 	if p.tl == nil || p.node == nil || pageBytes <= 0 {
 		return
 	}
@@ -126,5 +126,9 @@ func (p *Pool) recordTierFlows(now simtime.Time, fn string, compBefore, spillBef
 	if d := p.node.SpilledPages() - spillBefore; d > 0 {
 		p.tl.AddFlow(now, timeseries.FlowSpill,
 			timeseries.Dims{Node: "pool", Tenant: fn}, d*pageBytes)
+	}
+	if d := p.node.MergedPages() - mergedBefore; d > 0 {
+		p.tl.AddFlow(now, timeseries.FlowMerge,
+			timeseries.Dims{Node: "pool", Tenant: fn, Class: memnode.ClassRuntime.String()}, d*pageBytes)
 	}
 }

@@ -72,4 +72,12 @@ func (p *Pool) SampleTimeline(now simtime.Time) {
 				u.LogicalBytes*100/quota)
 		}
 	}
+	if cacheCap := p.node.Config().CacheBytes; cacheCap > 0 {
+		p.tl.SetGauge(now, timeseries.SeriesCacheUsedBytes, poolDims, p.node.CacheUsedBytes())
+		for _, u := range p.node.CacheOccupancies() {
+			p.tl.SetGauge(now, timeseries.SeriesCacheOccupancyPct,
+				timeseries.Dims{Node: "pool", Tenant: u.Tenant},
+				u.LogicalBytes*100/cacheCap)
+		}
+	}
 }

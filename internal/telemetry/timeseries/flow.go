@@ -42,6 +42,16 @@ const (
 	// releasing the pool's resident copy — pool occupancy is unchanged, so
 	// the flow is direction-0 like the intra-pool tier moves.
 	FlowShareRead
+	// FlowMerge records pages admitted onto a merge master wider than their
+	// own function: the logical bytes land in the pool but the widened
+	// master already stores them, so occupancy is unchanged (direction 0 —
+	// the occupancy effect of the admission itself is the accompanying
+	// FlowOffload).
+	FlowMerge
+	// FlowUnmerge records a copy-on-write break privatizing pages out of a
+	// merge master: bytes move between a shared and a private copy inside
+	// the pool, occupancy unchanged (direction 0).
+	FlowUnmerge
 	// NumFlows is the number of flow kinds.
 	NumFlows
 )
@@ -55,6 +65,8 @@ var flowNames = [NumFlows]string{
 	FlowCompress:  "compress",
 	FlowSpill:     "spill",
 	FlowShareRead: "share-read",
+	FlowMerge:     "merge",
+	FlowUnmerge:   "unmerge",
 }
 
 // String names the flow kind.
@@ -74,6 +86,8 @@ var flowDirections = [NumFlows]int{
 	FlowCompress:  0,
 	FlowSpill:     0,
 	FlowShareRead: 0,
+	FlowMerge:     0,
+	FlowUnmerge:   0,
 }
 
 // Direction is the flow's sign on pool occupancy: +1 inflow, -1 outflow,

@@ -89,6 +89,12 @@ const (
 	// SeriesFaultActiveKinds gauges how many fault kinds have a window in
 	// force.
 	SeriesFaultActiveKinds = "fault_active_kinds"
+	// SeriesCacheUsedBytes gauges the memnode shared cache tier's
+	// occupancy (only sampled when the cache is configured).
+	SeriesCacheUsedBytes = "cache_used_bytes"
+	// SeriesCacheOccupancyPct gauges one tenant's occupancy of the shared
+	// cache tier in percent of capacity (gauge, tenant dimension).
+	SeriesCacheOccupancyPct = "cache_occupancy_pct"
 )
 
 // SeriesKind distinguishes how points accumulate within a window.

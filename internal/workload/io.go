@@ -30,6 +30,7 @@ type profileJSON struct {
 	InitTimeSec       float64 `json:"init_time_sec"`
 	LaunchTimeSec     float64 `json:"launch_time_sec"`
 	QuotaMB           float64 `json:"quota_mb"`
+	RuntimeWriteRatio float64 `json:"runtime_write_ratio,omitempty"`
 }
 
 func mbToBytes(mb float64) int64 { return int64(mb * MB) }
@@ -66,6 +67,7 @@ func (p *Profile) MarshalJSON() ([]byte, error) {
 		InitTimeSec:       p.InitTime.Seconds(),
 		LaunchTimeSec:     p.LaunchTime.Seconds(),
 		QuotaMB:           float64(p.QuotaBytes) / MB,
+		RuntimeWriteRatio: p.RuntimeWriteRatio,
 	})
 }
 
@@ -105,6 +107,7 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 		{j.InitTimeSec, "init_time_sec"},
 		{j.LaunchTimeSec, "launch_time_sec"},
 		{j.QuotaMB, "quota_mb"},
+		{j.RuntimeWriteRatio, "runtime_write_ratio"},
 	} {
 		if err := checkField(f.v, j.Name, f.field); err != nil {
 			return err
@@ -146,6 +149,7 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 	p.InitTime = secToDur(j.InitTimeSec)
 	p.LaunchTime = secToDur(j.LaunchTimeSec)
 	p.QuotaBytes = mbToBytes(j.QuotaMB)
+	p.RuntimeWriteRatio = j.RuntimeWriteRatio
 	return p.Validate()
 }
 

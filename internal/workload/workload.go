@@ -188,6 +188,13 @@ type Profile struct {
 	// QuotaBytes is the production memory quota used by the density study
 	// (Fig. 16: 1280 / 256 / 384 MB for Bert / Graph / Web).
 	QuotaBytes int64
+
+	// RuntimeWriteRatio is the fraction of the offloaded runtime segment a
+	// request dirties (0..1). Writes against pool-side merge masters break
+	// copy-on-write, so a non-zero ratio turns the function write-hot for
+	// the merge-domain studies. Default 0: runtime pages are read-only, as
+	// the density studies assume.
+	RuntimeWriteRatio float64
 }
 
 // Micro reports whether this is one of the eight micro-benchmarks.
@@ -313,6 +320,8 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("workload: %s: init hot set exceeds init segment", p.Name)
 	case p.Pattern == ParetoObjects && p.Objects <= 0:
 		return fmt.Errorf("workload: %s: pareto pattern needs Objects", p.Name)
+	case p.RuntimeWriteRatio < 0 || p.RuntimeWriteRatio > 1:
+		return fmt.Errorf("workload: %s: runtime write ratio must be in [0,1]", p.Name)
 	}
 	return nil
 }
